@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "T4", "-quick", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"== T4:", "claim:", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "T99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "T4", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "T4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "n,beta,runs") {
+		t.Fatalf("unexpected CSV header: %q", string(data[:40]))
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", "T4", "-quick", "-seed", "9"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Strip the timing line, which legitimately varies.
+		var kept []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if !strings.HasPrefix(line, "[T4 completed") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("same seed produced different tables:\n%s\n---\n%s", a, b)
+	}
+}

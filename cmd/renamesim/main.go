@@ -1,0 +1,161 @@
+// Command renamesim runs one simulated renaming execution under a chosen
+// adversary and prints a summary (and optionally a per-batch or per-layer
+// trace). It is the interactive companion to cmd/renamebench: use it to
+// poke at a single configuration.
+//
+// Usage:
+//
+//	renamesim -alg rebatching -n 4096 -adversary collision -seed 3
+//	renamesim -alg fastadaptive -n 500 -trace
+//	renamesim -alg uniform -n 1024 -adversary layered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "renamesim:", err)
+		os.Exit(1)
+	}
+}
+
+func algorithms() []string {
+	return []string{"rebatching", "adaptive", "fastadaptive", "uniform", "segscan", "linscan", "adaptiveuniform"}
+}
+
+func buildAlgorithm(name string, n int, eps float64, t0 int) (core.Algorithm, error) {
+	switch name {
+	case "rebatching":
+		return core.NewReBatching(core.ReBatchingConfig{N: n, Epsilon: eps, T0Override: t0})
+	case "adaptive":
+		return core.NewAdaptive(core.AdaptiveConfig{Epsilon: eps, T0Override: t0})
+	case "fastadaptive":
+		return core.NewFastAdaptive(core.FastAdaptiveConfig{T0Override: t0})
+	case "uniform":
+		return baseline.NewUniform(n, eps, 0)
+	case "segscan":
+		return baseline.NewSegScan(n, eps, 0)
+	case "linscan":
+		return baseline.NewLinearScan(n)
+	case "adaptiveuniform":
+		return baseline.NewAdaptiveUniform(2, 0)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want one of %v)", name, algorithms())
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("renamesim", flag.ContinueOnError)
+	var (
+		algName = fs.String("alg", "rebatching", fmt.Sprintf("algorithm: %v", algorithms()))
+		n       = fs.Int("n", 1024, "number of processes (contention)")
+		advName = fs.String("adversary", "random", fmt.Sprintf("scheduler: %v", adversary.Names()))
+		seed    = fs.Uint64("seed", 1, "seed (same seed => same execution)")
+		eps     = fs.Float64("eps", 1, "namespace slack epsilon")
+		t0      = fs.Int("t0", 0, "override Eq.(2)'s t0 (0 = paper constant)")
+		trace   = fs.Bool("trace", false, "print every shared-memory step")
+		marking = fs.Bool("marking", false, "run the §6 marking gadget instead of an execution")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *marking {
+		return runMarking(out, *n, *seed)
+	}
+
+	alg, err := buildAlgorithm(*algName, *n, *eps, *t0)
+	if err != nil {
+		return err
+	}
+	adv, err := adversary.ByName(*advName)
+	if err != nil {
+		return err
+	}
+	var traceFn func(sim.Event)
+	if *trace {
+		traceFn = func(ev sim.Event) {
+			outcome := "lose"
+			if ev.Won {
+				outcome = "WIN"
+			}
+			fmt.Fprintf(out, "step %6d  p%-5d probe %-8d %s\n", ev.GlobalStep, ev.PID, ev.Loc, outcome)
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		N:         *n,
+		Algorithm: alg,
+		Adversary: adv,
+		Seed:      *seed,
+		Trace:     traceFn,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.UniqueNames(); err != nil {
+		return fmt.Errorf("SAFETY VIOLATION: %w", err)
+	}
+
+	named, crashed := 0, 0
+	for p := range res.Names {
+		if res.Crashed[p] {
+			crashed++
+		} else if res.Names[p] != sim.NoName {
+			named++
+		}
+	}
+	s := stats.SummarizeInts(res.Steps)
+	fmt.Fprintf(out, "algorithm   %s (n=%d, adversary=%s, seed=%d)\n", *algName, *n, *advName, *seed)
+	fmt.Fprintf(out, "named       %d/%d (crashed %d)\n", named, *n, crashed)
+	fmt.Fprintf(out, "uniqueness  ok\n")
+	fmt.Fprintf(out, "max name    %d\n", res.MaxName())
+	fmt.Fprintf(out, "steps       max=%d p99=%.0f p50=%.0f mean=%.2f\n", int(s.Max), s.P99, s.P50, s.Mean)
+	fmt.Fprintf(out, "total steps %d (%.2f per process)\n", res.TotalSteps, float64(res.TotalSteps)/float64(*n))
+
+	// Step histogram: how many processes took s steps.
+	hist := make(map[int]int)
+	for _, st := range res.Steps {
+		hist[st]++
+	}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintln(out, "steps histogram:")
+	for _, k := range keys {
+		fmt.Fprintf(out, "  %4d steps: %d processes\n", k, hist[k])
+	}
+	return nil
+}
+
+func runMarking(out io.Writer, n int, seed uint64) error {
+	res, err := lowerbound.RunMarking(lowerbound.MarkingConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "marking gadget (n=%d, S=%d, seed=%d)\n", n, 2*n, seed)
+	fmt.Fprintf(out, "predicted survival horizon l* = %d layers\n", lowerbound.PredictedLayers(n, 2*n))
+	for _, st := range res.Layers {
+		fmt.Fprintf(out, "layer %2d: marked=%-8d rate=%-12.4g lemma6.6-bound=%.4g\n",
+			st.Layer, st.Marked, st.Rate, st.RecurrenceLB)
+		if st.Marked == 0 {
+			break
+		}
+	}
+	fmt.Fprintf(out, "survived %d layers\n", res.SurvivedLayers())
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range algorithms() {
+		t.Run(alg, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-alg", alg, "-n", "64", "-seed", "2"}, &out); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			for _, want := range []string{"named       64/64", "uniqueness  ok", "steps histogram:"} {
+				if !strings.Contains(got, want) {
+					t.Errorf("%s output missing %q:\n%s", alg, want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllAdversaries(t *testing.T) {
+	for _, adv := range []string{"random", "roundrobin", "layered", "collision", "laggard"} {
+		var out bytes.Buffer
+		if err := run([]string{"-adversary", adv, "-n", "32"}, &out); err != nil {
+			t.Fatalf("%s: %v", adv, err)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-trace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WIN") {
+		t.Fatalf("trace output missing WIN lines:\n%s", out.String())
+	}
+}
+
+func TestRunMarkingMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-marking", "-n", "4096", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"marking gadget", "layer  0:", "survived"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("marking output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "nope"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunUnknownAdversary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-adversary", "nope", "-n", "8"}, &out); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestRunT0Override(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "128", "-t0", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "named       128/128") {
+		t.Fatalf("t0 override run failed:\n%s", out.String())
+	}
+}

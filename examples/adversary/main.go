@@ -1,0 +1,85 @@
+// Adversary: watch the §6 lower-bound schedule fight the §4 algorithm.
+//
+// The paper's lower bound constructs a layered oblivious schedule — every
+// layer steps each unfinished process once, in a fresh random order — and
+// proves that under it, SOME process in ANY O(n)-space TAS renaming
+// algorithm survives Ω(log log n) layers. This example runs that exact
+// schedule against ReBatching and against the uniform-probing strawman,
+// printing the per-layer survivor counts, and then runs the Poisson
+// marking gadget the proof uses to certify survival.
+//
+// Run with: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("adversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n    = 4096
+		seed = 2013 // PODC'13
+	)
+
+	fmt.Printf("layered oblivious schedule, n=%d\n\n", n)
+
+	algs := []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"ReBatching (tuned t0=6)", core.MustReBatching(core.ReBatchingConfig{N: n, Epsilon: 1, T0Override: 6})},
+		{"uniform probing", baseline.MustUniform(n, 1, 0)},
+	}
+	for _, a := range algs {
+		res, err := lowerbound.RoundsToCompletion(n, a.alg, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", a.name)
+		for i, active := range res.Active {
+			bar := active * 50 / n
+			fmt.Printf("  layer %2d: %5d active  %s\n", i+1, active, bars(bar))
+		}
+		fmt.Printf("  -> finished in %d layers (max individual steps %d)\n\n", res.Layers, res.MaxSteps)
+	}
+
+	fmt.Println("marking gadget (the proof's certified survivors):")
+	res, err := lowerbound.RunMarking(lowerbound.MarkingConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, st := range res.Layers {
+		fmt.Printf("  layer %d: marked=%-6d rate=%-10.4g Lemma-6.6 bound=%.4g\n",
+			st.Layer, st.Marked, st.Rate, st.RecurrenceLB)
+		if st.Marked == 0 {
+			break
+		}
+	}
+	fmt.Printf("  -> marked processes survived %d layers; Theorem 6.1 predicts >= %d w.c.p.\n",
+		res.SurvivedLayers(), lowerbound.PredictedLayers(n, 2*n))
+	fmt.Println("\nno algorithm can finish a layered execution in o(log log n) layers — and")
+	fmt.Println("ReBatching matches that bound up to its additive constant.")
+	return nil
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

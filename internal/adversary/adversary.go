@@ -1,0 +1,239 @@
+// Package adversary provides scheduler policies for the lock-step
+// simulator: oblivious adversaries (random, round-robin, the layered
+// schedule of the paper's §6 lower bound) and strong adaptive adversaries
+// that inspect pending operations to maximize contention, plus a crash-
+// injection wrapper.
+//
+// The paper's upper bounds (Theorems 4.1, 5.1, 5.2) are claimed against a
+// strong adaptive adversary; a worst-case adversary is not computable, so
+// the strong policies here are greedy heuristics that empirically dominate
+// random scheduling (experiment F3 quantifies by how much).
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Random schedules a uniformly random ready process each turn.
+// It is an oblivious adversary. The zero value is ready to use.
+type Random struct{}
+
+// Next implements sim.Adversary.
+func (Random) Next(v *sim.View) sim.Action {
+	ready := v.Ready()
+	return sim.Action{Step: ready[v.Rand().Intn(len(ready))]}
+}
+
+// RoundRobin cycles through processes in pid order, skipping processes
+// that are not ready. It is an oblivious adversary and the most benign
+// schedule (closest to synchronous lock-step).
+type RoundRobin struct {
+	next int
+}
+
+// Next implements sim.Adversary.
+func (a *RoundRobin) Next(v *sim.View) sim.Action {
+	for i := 0; i < v.N(); i++ {
+		pid := (a.next + i) % v.N()
+		if isReady(v, pid) {
+			a.next = pid + 1
+			return sim.Action{Step: pid}
+		}
+	}
+	// Unreachable: the simulator only asks when someone is ready.
+	return sim.Action{Step: v.Ready()[0]}
+}
+
+// Layered realizes the oblivious layered schedule of the §6 lower bound:
+// the execution proceeds in layers, each layer steps every still-active
+// process exactly once, in an order drawn as a fresh uniformly random
+// permutation per layer.
+type Layered struct {
+	// OnLayer, if non-nil, is called at the start of each layer with the
+	// 1-based layer number and the number of active processes — the hook
+	// experiment T7 uses to count survivors per layer.
+	OnLayer func(layer, active int)
+
+	queue []int
+	layer int
+}
+
+// Next implements sim.Adversary.
+func (a *Layered) Next(v *sim.View) sim.Action {
+	for {
+		if len(a.queue) == 0 {
+			ready := v.Ready()
+			a.layer++
+			if a.OnLayer != nil {
+				a.OnLayer(a.layer, len(ready))
+			}
+			a.queue = append(a.queue[:0], ready...)
+			v.Rand().Shuffle(len(a.queue), func(i, j int) {
+				a.queue[i], a.queue[j] = a.queue[j], a.queue[i]
+			})
+		}
+		pid := a.queue[0]
+		a.queue = a.queue[1:]
+		// A process scheduled earlier in this layer may have finished.
+		if isReady(v, pid) {
+			return sim.Action{Step: pid}
+		}
+	}
+}
+
+// Layer returns the number of layers started so far.
+func (a *Layered) Layer() int { return a.layer }
+
+// CollisionSeeker is a strong adaptive adversary that tries to maximize
+// wasted probes: it preferentially schedules a process whose pending TAS
+// is guaranteed to lose (its location is already set), breaking ties toward
+// the process that has already taken the most steps (driving up the maximum
+// individual step complexity). When no guaranteed loser exists it schedules
+// a process that shares its pending location with another ready process, so
+// the loser of that collision stays in the game; otherwise it falls back to
+// a random choice.
+//
+// A true worst-case adversary would inspect every ready process each turn,
+// costing Θ(n) per step and Θ(n²) per execution; CollisionSeeker instead
+// scans a rotating window of Lookahead ready processes, which keeps runs at
+// n = 2^16 feasible while preserving most of the scheduling pressure (the
+// F3 ablation quantifies the gap against random scheduling).
+type CollisionSeeker struct {
+	// Lookahead bounds the per-turn scan; <= 0 selects 512.
+	Lookahead int
+
+	cursor int
+	locs   map[int]int
+}
+
+// Next implements sim.Adversary.
+func (c *CollisionSeeker) Next(v *sim.View) sim.Action {
+	ready := v.Ready()
+	window := c.Lookahead
+	if window <= 0 {
+		window = 512
+	}
+	if window > len(ready) {
+		window = len(ready)
+	}
+	if c.locs == nil {
+		c.locs = make(map[int]int, window)
+	}
+	clear(c.locs)
+
+	bestLoser, bestSteps := -1, -1
+	collider := -1
+	for i := 0; i < window; i++ {
+		pid := ready[(c.cursor+i)%len(ready)]
+		loc := v.Pending(pid)
+		if v.IsSet(loc) {
+			if s := v.StepsTaken(pid); s > bestSteps {
+				bestLoser, bestSteps = pid, s
+			}
+		}
+		if other, dup := c.locs[loc]; dup && collider == -1 {
+			collider = other
+		}
+		c.locs[loc] = pid
+	}
+	c.cursor = (c.cursor + window) % (len(ready) + 1)
+	if bestLoser != -1 {
+		return sim.Action{Step: bestLoser}
+	}
+	if collider != -1 {
+		return sim.Action{Step: collider}
+	}
+	return sim.Action{Step: ready[v.Rand().Intn(len(ready))]}
+}
+
+// LaggardFirst is a strong adversary that always schedules the ready
+// process with the most steps taken, concentrating scheduling on the
+// unluckiest process to stretch the maximum individual step complexity.
+type LaggardFirst struct{}
+
+// Next implements sim.Adversary.
+func (LaggardFirst) Next(v *sim.View) sim.Action {
+	ready := v.Ready()
+	best, bestSteps := ready[0], -1
+	for _, pid := range ready {
+		if s := v.StepsTaken(pid); s > bestSteps {
+			best, bestSteps = pid, s
+		}
+	}
+	return sim.Action{Step: best}
+}
+
+// Crashing wraps another adversary and crashes F distinct processes, the
+// i-th victim after After(i) global steps. Victims are chosen uniformly
+// (and deterministically, from the view's randomness) among processes
+// still ready at the crash point.
+type Crashing struct {
+	// Inner supplies the schedule between crashes. Required.
+	Inner sim.Adversary
+	// F is the number of crash failures to inject.
+	F int
+	// Every is the gap, in global steps, between consecutive crashes;
+	// the i-th crash (0-based) fires once GlobalStep >= (i+1)*Every.
+	// Defaults to 1 (crash as early as possible).
+	Every int64
+
+	crashed int
+}
+
+// Next implements sim.Adversary.
+func (c *Crashing) Next(v *sim.View) sim.Action {
+	every := c.Every
+	if every <= 0 {
+		every = 1
+	}
+	act := c.Inner.Next(v)
+	if c.crashed < c.F && v.GlobalStep() >= int64(c.crashed+1)*every {
+		ready := v.Ready()
+		if len(ready) > 1 { // leave someone to finish the run
+			victim := ready[v.Rand().Intn(len(ready))]
+			c.crashed++
+			act.Crash = append(act.Crash, victim)
+			if act.Step == victim {
+				// The intended step just crashed; pick any survivor.
+				act.Step = -1
+				for _, pid := range ready {
+					if pid != victim {
+						act.Step = pid
+						break
+					}
+				}
+			}
+		}
+	}
+	return act
+}
+
+// Crashed returns the number of crash failures injected so far.
+func (c *Crashing) Crashed() int { return c.crashed }
+
+// ByName constructs a fresh adversary from a CLI-friendly name.
+func ByName(name string) (sim.Adversary, error) {
+	switch name {
+	case "random":
+		return Random{}, nil
+	case "roundrobin":
+		return &RoundRobin{}, nil
+	case "layered":
+		return &Layered{}, nil
+	case "collision":
+		return &CollisionSeeker{}, nil
+	case "laggard":
+		return LaggardFirst{}, nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown adversary %q (want random, roundrobin, layered, collision, laggard)", name)
+	}
+}
+
+// Names lists the adversaries ByName accepts.
+func Names() []string {
+	return []string{"random", "roundrobin", "layered", "collision", "laggard"}
+}
+
+func isReady(v *sim.View, pid int) bool { return v.IsReady(pid) }

@@ -1,0 +1,51 @@
+// Package core implements the renaming algorithms of Alistarh, Aspnes,
+// Giakkoupis and Woelfel, "Randomized loose renaming in O(log log n) time"
+// (PODC 2013): the non-adaptive ReBatching algorithm (§4, Fig. 1), the
+// adaptive AdaptiveReBatching algorithm (§5.1), and the work-efficient
+// FastAdaptiveReBatching algorithm (§5.2, Fig. 2).
+//
+// Every algorithm is written once, against the tiny Env interface below,
+// and is executed by two different drivers:
+//
+//   - the concurrent driver (package renaming at the repository root),
+//     where Env.TAS is an atomic compare-and-swap and processes are
+//     goroutines scheduled by the Go runtime; and
+//   - the lock-step simulator (internal/sim), where an adversary policy
+//     decides which process performs its next shared-memory step, and
+//     steps are counted exactly as the paper's complexity measure defines.
+//
+// Names are global TAS-location indices: a process owns name u exactly when
+// it won the test-and-set at location u.
+package core
+
+// NoName is returned by renaming attempts that did not acquire a name
+// (the paper's pseudocode returns -1).
+const NoName = -1
+
+// Env is the execution environment of a single process. Every call to TAS
+// is one shared-memory step in the paper's complexity measure; Intn models
+// a local coin flip and is free.
+//
+// An Env is owned by exactly one process and must not be shared.
+type Env interface {
+	// TAS performs a test-and-set on global location loc and reports
+	// whether the calling process won it.
+	TAS(loc int) bool
+	// Intn returns a uniform random int in [0, n); it must panic if n <= 0.
+	Intn(n int) int
+}
+
+// Algorithm is a single-process renaming procedure: it runs to completion
+// inside env and returns the acquired name, or NoName on failure (only
+// possible for variants without a backup phase).
+//
+// All algorithm types in this package implement Algorithm and are stateless
+// with respect to executions: the same object is shared by all processes of
+// a run, and all mutable state lives behind Env.TAS.
+type Algorithm interface {
+	GetName(env Env) int
+	// Namespace returns the exclusive upper bound of the target namespace:
+	// every name returned by GetName lies in [0, Namespace()). For objects
+	// based at location 0 this equals the namespace size.
+	Namespace() int
+}

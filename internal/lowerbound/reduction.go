@@ -1,0 +1,113 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// WinBased implements the Lemma 6.2 reduction: it wraps a renaming
+// algorithm A over s TAS locations into an algorithm A' over s+m locations
+// in which *acquiring a name* is expressed as *winning a TAS* — a process
+// returning name j under A additionally performs TAS on location s+j.
+//
+// Lemma 6.2 states that if A assigns unique names, every process of A'
+// wins some TAS. Contrapositively, a process that LOSES its name-claim TAS
+// has witnessed a uniqueness violation — so the wrapper doubles as a
+// runtime safety monitor: Violations counts name-claim losses, and any
+// nonzero count is a proof of a duplicate name assignment.
+type WinBased struct {
+	inner core.Algorithm
+	s     int // the inner algorithm's location-space size
+	// violations counts name-claim TAS losses (uniqueness violations).
+	violations atomic.Int64
+}
+
+// NewWinBased wraps inner per Lemma 6.2. The inner algorithm must confine
+// its probes to locations [0, inner.Namespace()); name-claim locations
+// live at [Namespace(), 2*Namespace()).
+func NewWinBased(inner core.Algorithm) *WinBased {
+	return &WinBased{inner: inner, s: inner.Namespace()}
+}
+
+// GetName implements core.Algorithm: run the inner algorithm, then claim
+// the returned name by winning the corresponding TAS in the extension
+// array.
+func (w *WinBased) GetName(env core.Env) int {
+	u := w.inner.GetName(env)
+	if u == core.NoName {
+		return core.NoName
+	}
+	if !env.TAS(w.s + u) {
+		// Lemma 6.2: impossible while the inner algorithm is correct.
+		w.violations.Add(1)
+		return core.NoName
+	}
+	return u
+}
+
+// Namespace implements core.Algorithm (the extended array size).
+func (w *WinBased) Namespace() int { return 2 * w.s }
+
+// Violations returns the number of observed uniqueness violations (name
+// claims that lost their TAS). Zero for any correct inner algorithm.
+func (w *WinBased) Violations() int64 { return w.violations.Load() }
+
+var _ core.Algorithm = (*WinBased)(nil)
+
+// LayerEnv implements the Lemma 6.3 reduction around an Env: the ℓ-th TAS
+// operation of the process is redirected to a fresh copy T_ℓ of the
+// location array, i.e. location loc becomes ℓ·s + loc. Lemma 6.3 states
+// that the set of processes failing to win any TAS under this layered
+// execution contains the corresponding set of the original execution, so
+// lower bounds proved against layered executions apply to the original
+// algorithm.
+//
+// LayerEnv is a per-process wrapper (like Env itself, it must not be
+// shared).
+type LayerEnv struct {
+	inner core.Env
+	s     int
+	layer int
+	won   bool
+}
+
+// NewLayerEnv wraps env for an algorithm whose probes lie in [0, s).
+func NewLayerEnv(env core.Env, s int) *LayerEnv {
+	if s < 1 {
+		panic(fmt.Sprintf("lowerbound: NewLayerEnv size %d", s))
+	}
+	return &LayerEnv{inner: env, s: s}
+}
+
+// TAS redirects the process's ℓ-th operation to layer array T_ℓ. Per the
+// reduction's part (b), a process leaves the protocol as soon as it wins:
+// subsequent TAS calls return true without touching shared memory (the
+// process "has left"; the algorithm will then terminate on its own).
+func (e *LayerEnv) TAS(loc int) bool {
+	if loc < 0 || loc >= e.s {
+		panic(fmt.Sprintf("lowerbound: layered TAS location %d outside [0,%d)", loc, e.s))
+	}
+	if e.won {
+		return true
+	}
+	won := e.inner.TAS(e.layer*e.s + loc)
+	e.layer++
+	if won {
+		e.won = true
+	}
+	return won
+}
+
+// Intn forwards to the wrapped environment.
+func (e *LayerEnv) Intn(n int) int { return e.inner.Intn(n) }
+
+// Layer returns the number of shared-memory operations performed (the
+// index of the next layer array this process would touch).
+func (e *LayerEnv) Layer() int { return e.layer }
+
+// Won reports whether the process has won a TAS and left the protocol.
+func (e *LayerEnv) Won() bool { return e.won }
+
+var _ core.Env = (*LayerEnv)(nil)

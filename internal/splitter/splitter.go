@@ -1,0 +1,150 @@
+// Package splitter implements Moir–Anderson wait-free renaming from
+// read/write registers only — the classic *deterministic* comparator the
+// paper cites as reference [31] ("Wait-free algorithms for fast, long-lived
+// renaming", Sci. Comput. Program. 1995).
+//
+// The paper's algorithms assume hardware test-and-set; §2 discusses the
+// read-write register model as the alternative. Moir–Anderson is the
+// canonical point in that design space: no randomness, no TAS, O(k) steps
+// per process — but a Θ(k²) namespace, which is exactly the trade-off the
+// randomized TAS-based algorithms improve to O(k) names in O(log log k)
+// steps. Experiment F6 measures the two against each other.
+//
+// The building block is the Moir–Anderson splitter: a pair of registers
+// (X, Y) such that of the k >= 1 processes entering, at most one "stops",
+// at most k-1 "go right" and at most k-1 "go down" — and a solo process
+// always stops. Splitters are arranged in a triangular grid; a process
+// enters at the corner, moves right/down per splitter outcome, and takes
+// the grid position where it stops as its name. With contention k every
+// process stops within diagonal k-1, so names fit in the first k(k+1)/2
+// grid cells.
+package splitter
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// outcome is the result of passing through one splitter.
+type outcome int
+
+const (
+	stop outcome = iota + 1
+	right
+	down
+)
+
+// splitter is the Moir–Anderson splitter over two shared registers.
+// The atomic types provide (more than) the regular-register semantics the
+// construction requires.
+type splitter struct {
+	x atomic.Int64 // last entrant's id + 1 (0 = nobody yet)
+	y atomic.Bool  // doorway: set by the first wave through
+}
+
+// enter runs the splitter protocol for the caller identified by id.
+//
+//	X := id
+//	if Y { return right }
+//	Y := true
+//	if X == id { return stop }
+//	return down
+//
+// At most one process can stop: a stopper read X == id after setting Y, so
+// every later entrant sees Y and goes right, and any concurrent entrant
+// that overwrote X before the check goes down. A solo process trivially
+// stops. Not all of the k entrants can go right (the first to read Y saw
+// it false), and not all can go down (the last to write X reads X == id
+// unless someone went right).
+func (s *splitter) enter(id int64) outcome {
+	s.x.Store(id)
+	if s.y.Load() {
+		return right
+	}
+	s.y.Store(true)
+	if s.x.Load() == id {
+		return stop
+	}
+	return down
+}
+
+// Grid is a one-shot Moir–Anderson renaming instance for up to N
+// concurrent participants. It is safe for concurrent use. The grid
+// occupies N(N+1)/2 splitters (the triangle of diagonals 0..N-1).
+type Grid struct {
+	n int
+	// rows[r][c] is the splitter at grid position (row r, column c),
+	// allocated only up to diagonal n-1: row r has n-r columns.
+	rows [][]splitter
+	// ids hands every GetName call a distinct non-zero identity, as the
+	// splitter protocol requires.
+	ids atomic.Int64
+	// steps counts register operations (4 per splitter visit at most),
+	// the read-write model's step-complexity measure.
+	steps atomic.Int64
+}
+
+// maxGridN bounds the quadratic splitter allocation (2^12 rows means
+// ~8.4M splitters, ~200 MB).
+const maxGridN = 1 << 12
+
+// NewGrid builds a grid for at most n concurrent participants.
+func NewGrid(n int) (*Grid, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("splitter: NewGrid(%d): need n >= 1", n)
+	}
+	if n > maxGridN {
+		return nil, fmt.Errorf("splitter: NewGrid(%d): exceeds max %d (namespace is quadratic)", n, maxGridN)
+	}
+	rows := make([][]splitter, n)
+	for r := range rows {
+		rows[r] = make([]splitter, n-r)
+	}
+	return &Grid{n: n, rows: rows}, nil
+}
+
+// MustGrid is NewGrid for statically-valid arguments.
+func MustGrid(n int) *Grid {
+	g, err := NewGrid(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GetName walks the splitter grid and returns a name unique among all
+// unreleased... — Moir–Anderson one-shot renaming has no release; the name
+// is unique among all GetName calls ever made on this grid, bounded by
+// diag(k)(diag(k)+1)/2 + k for contention k. It returns -1 only if the
+// walk leaves the allocated triangle, which cannot happen while the number
+// of concurrent callers stays within N.
+func (g *Grid) GetName() int {
+	id := g.ids.Add(1)
+	r, c := 0, 0
+	for r+c < g.n {
+		g.steps.Add(4)
+		switch g.rows[r][c].enter(id) {
+		case stop:
+			return NameAt(r, c)
+		case right:
+			c++
+		case down:
+			r++
+		}
+	}
+	return -1
+}
+
+// Namespace returns the exclusive upper bound on names: N(N+1)/2.
+func (g *Grid) Namespace() int { return g.n * (g.n + 1) / 2 }
+
+// Steps returns the total register operations performed so far.
+func (g *Grid) Steps() int64 { return g.steps.Load() }
+
+// NameAt maps grid position (r, c) to its diagonal name: cells are
+// numbered along anti-diagonals, so diagonal d = r+c holds names
+// d(d+1)/2 .. d(d+1)/2+d.
+func NameAt(r, c int) int {
+	d := r + c
+	return d*(d+1)/2 + r
+}

@@ -1,0 +1,224 @@
+package splitter
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitterSoloStops(t *testing.T) {
+	var s splitter
+	if got := s.enter(1); got != stop {
+		t.Fatalf("solo enter = %v, want stop", got)
+	}
+}
+
+func TestSplitterLaterEntrantsGoRight(t *testing.T) {
+	var s splitter
+	s.enter(1) // stops, Y set
+	for id := int64(2); id < 6; id++ {
+		if got := s.enter(id); got != right {
+			t.Fatalf("entrant %d after stopper = %v, want right", id, got)
+		}
+	}
+}
+
+// TestSplitterAtMostOneStop hammers one splitter from many goroutines and
+// checks the fundamental properties: <= 1 stop, <= k-1 right, <= k-1 down.
+func TestSplitterAtMostOneStop(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		var s splitter
+		const k = 8
+		outcomes := make([]outcome, k)
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outcomes[i] = s.enter(int64(i + 1))
+			}(i)
+		}
+		wg.Wait()
+		var stops, rights, downs int
+		for _, o := range outcomes {
+			switch o {
+			case stop:
+				stops++
+			case right:
+				rights++
+			case down:
+				downs++
+			}
+		}
+		if stops > 1 {
+			t.Fatalf("trial %d: %d processes stopped", trial, stops)
+		}
+		if rights > k-1 || downs > k-1 {
+			t.Fatalf("trial %d: rights=%d downs=%d (k=%d)", trial, rights, downs, k)
+		}
+		if stops+rights+downs != k {
+			t.Fatalf("trial %d: outcomes lost", trial)
+		}
+	}
+}
+
+func TestNameAt(t *testing.T) {
+	// Diagonal numbering: (0,0)=0; (0,1)=1,(1,0)=2; (0,2)=3,(1,1)=4,(2,0)=5.
+	tests := []struct{ r, c, want int }{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {0, 2, 3}, {1, 1, 4}, {2, 0, 5}, {3, 3, 24},
+	}
+	for _, tt := range tests {
+		if got := NameAt(tt.r, tt.c); got != tt.want {
+			t.Errorf("NameAt(%d,%d) = %d, want %d", tt.r, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestNameAtBijectiveOnTriangle(t *testing.T) {
+	seen := make(map[int]bool)
+	const n = 20
+	for r := 0; r < n; r++ {
+		for c := 0; c < n-r; c++ {
+			u := NameAt(r, c)
+			if u < 0 || u >= n*(n+1)/2 {
+				t.Fatalf("NameAt(%d,%d) = %d outside namespace", r, c, u)
+			}
+			if seen[u] {
+				t.Fatalf("NameAt(%d,%d) = %d duplicated", r, c, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestGridSoloGetsNameZero(t *testing.T) {
+	g := MustGrid(8)
+	if got := g.GetName(); got != 0 {
+		t.Fatalf("solo GetName = %d, want 0 (stops at the corner)", got)
+	}
+}
+
+func TestGridSequentialNamesDistinctAndSmall(t *testing.T) {
+	g := MustGrid(64)
+	seen := make(map[int]bool)
+	for k := 1; k <= 64; k++ {
+		u := g.GetName()
+		if u < 0 {
+			t.Fatalf("call %d failed", k)
+		}
+		if seen[u] {
+			t.Fatalf("duplicate name %d", u)
+		}
+		seen[u] = true
+		// Sequential contention is 1 at a time... but the grid is one-shot,
+		// so earlier stoppers block cells: the k-th sequential caller stops
+		// within diagonal k-1.
+		if bound := k * (k + 1) / 2; u >= bound {
+			t.Fatalf("call %d: name %d >= adaptive bound %d", k, u, bound)
+		}
+	}
+}
+
+func TestGridConcurrentUnique(t *testing.T) {
+	const k = 128
+	g := MustGrid(k)
+	names := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			names[i] = g.GetName()
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, k)
+	for i, u := range names {
+		if u < 0 || u >= g.Namespace() {
+			t.Fatalf("goroutine %d: name %d outside [0,%d)", i, u, g.Namespace())
+		}
+		if seen[u] {
+			t.Fatalf("duplicate name %d", u)
+		}
+		seen[u] = true
+	}
+	if g.Steps() <= 0 {
+		t.Fatal("no register steps recorded")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(0); err == nil {
+		t.Error("NewGrid(0) accepted")
+	}
+	if _, err := NewGrid(maxGridN + 1); err == nil {
+		t.Error("oversized grid accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGrid(0) did not panic")
+		}
+	}()
+	MustGrid(0)
+}
+
+func TestGridNamespace(t *testing.T) {
+	if got := MustGrid(10).Namespace(); got != 55 {
+		t.Fatalf("Namespace = %d, want 55", got)
+	}
+}
+
+// TestGridUniquePropertyQuick property-tests uniqueness across random
+// contention levels under real concurrency.
+func TestGridUniquePropertyQuick(t *testing.T) {
+	property := func(rawK uint8) bool {
+		k := int(rawK%50) + 1
+		g := MustGrid(k)
+		names := make([]int, k)
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				names[i] = g.GetName()
+			}(i)
+		}
+		wg.Wait()
+		seen := make(map[int]bool, k)
+		for _, u := range names {
+			if u < 0 || seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGridFill measures filling a 256-participant grid from 8
+// goroutines; the metric of interest is ns per acquired name. (A shared
+// long-running grid would exhaust: Moir–Anderson is one-shot.)
+func BenchmarkGridFill(b *testing.B) {
+	const k = 256
+	for i := 0; i < b.N; i++ {
+		g := MustGrid(k)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < k/8; j++ {
+					if g.GetName() < 0 {
+						b.Error("grid exhausted")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/name")
+}

@@ -1,0 +1,193 @@
+// Package tas implements the test-and-set (TAS) shared-memory substrate the
+// paper assumes as a hardware primitive.
+//
+// A test-and-set object holds a single bit, initially 0. The first process
+// to apply TAS to it atomically sets the bit and "wins"; every later caller
+// "loses". The paper's algorithms interact with memory exclusively through
+// indexed collections of such objects, modeled here by the Space interface.
+//
+// Three implementations are provided:
+//
+//   - Dense: a packed atomic array — the production representation used by
+//     the concurrent renaming library (CAS(0→1) is exactly a hardware TAS).
+//   - Padded: one TAS per cache line, for the false-sharing ablation.
+//   - Sparse: a lazily-allocated map for single-threaded simulations of the
+//     paper's *unbounded* adaptive constructions.
+//
+// The Counting wrapper layers probe/win accounting over any Space.
+package tas
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Space is an indexed collection of test-and-set objects.
+//
+// TAS applies a test-and-set to location loc and reports whether the caller
+// won (i.e. was the first to access that location). Implementations must
+// document whether they are safe for concurrent use.
+type Space interface {
+	TAS(loc int) bool
+	// Len returns the number of locations, or Unbounded for spaces that
+	// allocate lazily.
+	Len() int
+}
+
+// Unbounded is returned by Len for spaces without a fixed size.
+const Unbounded = -1
+
+// Dense is a fixed-size packed array of TAS objects backed by atomic
+// int32 cells. It is safe for concurrent use. Adjacent locations share
+// cache lines; use Padded to measure the difference.
+type Dense struct {
+	cells []int32
+}
+
+// NewDense returns a Dense space with n locations, all unset.
+func NewDense(n int) *Dense {
+	if n < 0 {
+		panic(fmt.Sprintf("tas: NewDense(%d): negative size", n))
+	}
+	return &Dense{cells: make([]int32, n)}
+}
+
+// TAS wins iff the caller is the first to set location loc.
+func (d *Dense) TAS(loc int) bool {
+	return atomic.CompareAndSwapInt32(&d.cells[loc], 0, 1)
+}
+
+// Len returns the number of locations.
+func (d *Dense) Len() int { return len(d.cells) }
+
+// IsSet reports whether location loc has been won. It is a read, not a TAS
+// step; the paper's model does not charge for it and the algorithms never
+// call it — it exists for tests and for the Release extension.
+func (d *Dense) IsSet(loc int) bool {
+	return atomic.LoadInt32(&d.cells[loc]) != 0
+}
+
+// Reset returns location loc to the unset state. This is the long-lived
+// renaming extension (releasing a name); it is NOT part of the paper's
+// one-shot model. The caller must own the name being released.
+func (d *Dense) Reset(loc int) {
+	atomic.StoreInt32(&d.cells[loc], 0)
+}
+
+const cacheLineBytes = 64
+
+type paddedCell struct {
+	v int32
+	_ [cacheLineBytes - 4]byte
+}
+
+// Padded is a fixed-size array of TAS objects with one object per cache
+// line, eliminating false sharing between adjacent locations at 16x the
+// memory cost. It is safe for concurrent use.
+type Padded struct {
+	cells []paddedCell
+}
+
+// NewPadded returns a Padded space with n locations, all unset.
+func NewPadded(n int) *Padded {
+	if n < 0 {
+		panic(fmt.Sprintf("tas: NewPadded(%d): negative size", n))
+	}
+	return &Padded{cells: make([]paddedCell, n)}
+}
+
+// TAS wins iff the caller is the first to set location loc.
+func (p *Padded) TAS(loc int) bool {
+	return atomic.CompareAndSwapInt32(&p.cells[loc].v, 0, 1)
+}
+
+// Len returns the number of locations.
+func (p *Padded) Len() int { return len(p.cells) }
+
+// IsSet reports whether location loc has been won.
+func (p *Padded) IsSet(loc int) bool {
+	return atomic.LoadInt32(&p.cells[loc].v) != 0
+}
+
+// Reset returns location loc to the unset state (long-lived extension).
+func (p *Padded) Reset(loc int) {
+	atomic.StoreInt32(&p.cells[loc].v, 0)
+}
+
+// Sparse is a lazily-allocated TAS space over the entire non-negative int
+// range. It exists so the simulator can execute the paper's unbounded
+// adaptive constructions (§5), where location indices grow like k⁴ but the
+// number of *touched* locations stays O(k log log k).
+//
+// Sparse is NOT safe for concurrent use; it belongs to the single-threaded
+// lock-step simulator.
+type Sparse struct {
+	set map[int]struct{}
+}
+
+// NewSparse returns an empty unbounded space.
+func NewSparse() *Sparse {
+	return &Sparse{set: make(map[int]struct{})}
+}
+
+// TAS wins iff the caller is the first to set location loc.
+func (s *Sparse) TAS(loc int) bool {
+	if loc < 0 {
+		panic(fmt.Sprintf("tas: Sparse.TAS(%d): negative location", loc))
+	}
+	if _, taken := s.set[loc]; taken {
+		return false
+	}
+	s.set[loc] = struct{}{}
+	return true
+}
+
+// Len reports Unbounded.
+func (s *Sparse) Len() int { return Unbounded }
+
+// Touched returns the number of locations that have been won, which equals
+// the space actually consumed by an execution.
+func (s *Sparse) Touched() int { return len(s.set) }
+
+// IsSet reports whether location loc has been won.
+func (s *Sparse) IsSet(loc int) bool {
+	_, taken := s.set[loc]
+	return taken
+}
+
+// Reset returns location loc to the unset state (long-lived extension).
+func (s *Sparse) Reset(loc int) {
+	delete(s.set, loc)
+}
+
+// Counting wraps a Space and counts TAS operations and wins. The counters
+// use atomics so the wrapper composes with concurrent spaces.
+type Counting struct {
+	inner Space
+	ops   atomic.Int64
+	wins  atomic.Int64
+}
+
+// NewCounting wraps inner with probe/win accounting.
+func NewCounting(inner Space) *Counting {
+	return &Counting{inner: inner}
+}
+
+// TAS forwards to the wrapped space and records the operation.
+func (c *Counting) TAS(loc int) bool {
+	c.ops.Add(1)
+	won := c.inner.TAS(loc)
+	if won {
+		c.wins.Add(1)
+	}
+	return won
+}
+
+// Len returns the wrapped space's length.
+func (c *Counting) Len() int { return c.inner.Len() }
+
+// Ops returns the number of TAS operations applied so far.
+func (c *Counting) Ops() int64 { return c.ops.Load() }
+
+// Wins returns the number of winning TAS operations so far.
+func (c *Counting) Wins() int64 { return c.wins.Load() }

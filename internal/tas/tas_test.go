@@ -1,0 +1,234 @@
+package tas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// compile-time interface compliance checks.
+var (
+	_ Space = (*Dense)(nil)
+	_ Space = (*Padded)(nil)
+	_ Space = (*Sparse)(nil)
+	_ Space = (*Counting)(nil)
+)
+
+// resettable is the extra surface shared by Dense, Padded and Sparse.
+type resettable interface {
+	Space
+	IsSet(loc int) bool
+	Reset(loc int)
+}
+
+func spaces(n int) map[string]resettable {
+	return map[string]resettable{
+		"dense":  NewDense(n),
+		"padded": NewPadded(n),
+		"sparse": NewSparse(),
+	}
+}
+
+func TestFirstCallerWins(t *testing.T) {
+	for name, s := range spaces(4) {
+		t.Run(name, func(t *testing.T) {
+			if !s.TAS(2) {
+				t.Fatal("first TAS lost")
+			}
+			for i := 0; i < 5; i++ {
+				if s.TAS(2) {
+					t.Fatal("second TAS won")
+				}
+			}
+			if s.TAS(3) != true {
+				t.Fatal("independent location affected")
+			}
+		})
+	}
+}
+
+func TestIsSetAndReset(t *testing.T) {
+	for name, s := range spaces(4) {
+		t.Run(name, func(t *testing.T) {
+			if s.IsSet(1) {
+				t.Fatal("fresh location reads set")
+			}
+			s.TAS(1)
+			if !s.IsSet(1) {
+				t.Fatal("won location reads unset")
+			}
+			s.Reset(1)
+			if s.IsSet(1) {
+				t.Fatal("reset location still set")
+			}
+			if !s.TAS(1) {
+				t.Fatal("TAS after Reset lost")
+			}
+		})
+	}
+}
+
+func TestLen(t *testing.T) {
+	if got := NewDense(17).Len(); got != 17 {
+		t.Errorf("Dense.Len() = %d, want 17", got)
+	}
+	if got := NewPadded(9).Len(); got != 9 {
+		t.Errorf("Padded.Len() = %d, want 9", got)
+	}
+	if got := NewSparse().Len(); got != Unbounded {
+		t.Errorf("Sparse.Len() = %d, want Unbounded", got)
+	}
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(-1) did not panic")
+		}
+	}()
+	NewDense(-1)
+}
+
+func TestSparseTouched(t *testing.T) {
+	s := NewSparse()
+	locs := []int{5, 1 << 40, 0, 5} // duplicate must not double-count
+	for _, l := range locs {
+		s.TAS(l)
+	}
+	if got := s.Touched(); got != 3 {
+		t.Fatalf("Touched() = %d, want 3", got)
+	}
+}
+
+func TestSparsePanicsOnNegativeLoc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sparse.TAS(-1) did not panic")
+		}
+	}()
+	NewSparse().TAS(-1)
+}
+
+// TestConcurrentSingleWinner hammers every location from many goroutines and
+// checks the fundamental TAS guarantee: exactly one winner per location.
+func TestConcurrentSingleWinner(t *testing.T) {
+	concurrent := map[string]Space{
+		"dense":  NewDense(64),
+		"padded": NewPadded(64),
+	}
+	for name, s := range concurrent {
+		t.Run(name, func(t *testing.T) {
+			const (
+				locations  = 64
+				goroutines = 32
+			)
+			winners := make([][]int32, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				winners[g] = make([]int32, locations)
+				wg.Add(1)
+				go func(mine []int32) {
+					defer wg.Done()
+					for loc := 0; loc < locations; loc++ {
+						if s.TAS(loc) {
+							mine[loc] = 1
+						}
+					}
+				}(winners[g])
+			}
+			wg.Wait()
+			for loc := 0; loc < locations; loc++ {
+				total := int32(0)
+				for g := 0; g < goroutines; g++ {
+					total += winners[g][loc]
+				}
+				if total != 1 {
+					t.Errorf("location %d had %d winners, want 1", loc, total)
+				}
+			}
+		})
+	}
+}
+
+func TestCountingAccounting(t *testing.T) {
+	c := NewCounting(NewDense(8))
+	c.TAS(0) // win
+	c.TAS(0) // lose
+	c.TAS(1) // win
+	c.TAS(0) // lose
+	if got := c.Ops(); got != 4 {
+		t.Errorf("Ops() = %d, want 4", got)
+	}
+	if got := c.Wins(); got != 2 {
+		t.Errorf("Wins() = %d, want 2", got)
+	}
+	if got := c.Len(); got != 8 {
+		t.Errorf("Len() = %d, want 8", got)
+	}
+}
+
+func TestCountingConcurrent(t *testing.T) {
+	const (
+		locations  = 128
+		goroutines = 16
+	)
+	c := NewCounting(NewDense(locations))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for loc := 0; loc < locations; loc++ {
+				c.TAS(loc)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Ops(); got != locations*goroutines {
+		t.Errorf("Ops() = %d, want %d", got, locations*goroutines)
+	}
+	// Exactly one win per location, regardless of interleaving.
+	if got := c.Wins(); got != locations {
+		t.Errorf("Wins() = %d, want %d", got, locations)
+	}
+}
+
+// TestSparseMatchesDense property-checks that Sparse and Dense agree on
+// every win/lose outcome for an arbitrary probe sequence.
+func TestSparseMatchesDense(t *testing.T) {
+	property := func(probes []uint16) bool {
+		const size = 256
+		d := NewDense(size)
+		s := NewSparse()
+		for _, p := range probes {
+			loc := int(p % size)
+			if d.TAS(loc) != s.TAS(loc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDenseTAS(b *testing.B) {
+	d := NewDense(1)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.TAS(0)
+		}
+	})
+}
+
+func BenchmarkPaddedDisjoint(b *testing.B) {
+	p := NewPadded(1 << 16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p.TAS(i & (1<<16 - 1))
+			i += 7
+		}
+	})
+}

@@ -1,0 +1,9 @@
+package xrand
+
+import mathrand "math/rand"
+
+// stdRandFrom adapts an xrand generator into the *math/rand.Rand that
+// testing/quick requires for its Config.Rand field.
+func stdRandFrom(r *Rand) *mathrand.Rand {
+	return mathrand.New(mathrand.NewSource(int64(r.Uint64())))
+}

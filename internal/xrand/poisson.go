@@ -1,0 +1,165 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical regimes for the Poisson routines. Below smallLambdaCutoff the
+// exact inverse-CDF recurrence is used; above it a normal approximation
+// with continuity correction takes over (the exact recurrence underflows
+// near exp(-746)). The lower-bound gadget operates on per-location rates
+// that are O(1), far inside the exact regime.
+const smallLambdaCutoff = 500.0
+
+// Poisson returns a sample from the Poisson distribution with rate lambda.
+// It panics if lambda is negative or NaN.
+func (r *Rand) Poisson(lambda float64) int {
+	switch {
+	case math.IsNaN(lambda) || lambda < 0:
+		panic(fmt.Sprintf("xrand: Poisson rate %v out of range", lambda))
+	case lambda == 0:
+		return 0
+	default:
+		return PoissonQuantile(lambda, r.Float64Open())
+	}
+}
+
+// PoissonQuantile returns the smallest k such that P(X <= k) >= u for
+// X ~ Pois(lambda), i.e. the inverse CDF evaluated at u in (0, 1).
+func PoissonQuantile(lambda, u float64) int {
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > smallLambdaCutoff {
+		return normalApproxQuantile(lambda, u)
+	}
+	// Inverse transform by sequential search using the term recurrence
+	// p_{k+1} = p_k * lambda / (k+1), starting from p_0 = exp(-lambda).
+	p := math.Exp(-lambda)
+	cdf := p
+	k := 0
+	// The loop bound guards against u so close to 1 that float64 summation
+	// saturates before reaching it; the tail clamp is astronomically rare.
+	limit := int(lambda + 60*math.Sqrt(lambda) + 60)
+	for cdf < u && k < limit {
+		k++
+		p *= lambda / float64(k)
+		cdf += p
+	}
+	return k
+}
+
+// PoissonCDF returns P(X <= k) for X ~ Pois(lambda). Exact summation for
+// lambda within the small regime; normal approximation beyond it.
+func PoissonCDF(lambda float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		return 1
+	}
+	if lambda > smallLambdaCutoff {
+		return normalApproxCDF(lambda, k)
+	}
+	p := math.Exp(-lambda)
+	cdf := p
+	for i := 1; i <= k; i++ {
+		p *= lambda / float64(i)
+		cdf += p
+	}
+	if cdf > 1 {
+		return 1
+	}
+	return cdf
+}
+
+// CoupledPoissonPair returns a pair (z, y) where z ~ Pois(lambda),
+// y ~ Pois(min(lambda²/4, lambda/4)), and y <= max(0, z-1) holds with
+// certainty. This is the coupling gadget of Lemmas 6.4/6.5 in the paper:
+// both variables are produced from one shared uniform by inverse CDF, and
+// Lemma 6.5's dominance P_λ(n+1) <= P_γ(n) turns quantile coupling into the
+// almost-sure inequality. Conditioned on z, the shared uniform is uniform on
+// the z-th CDF slab independently of how z decomposes into per-type counts,
+// which is exactly the conditional independence Lemma 6.4 requires.
+func (r *Rand) CoupledPoissonPair(lambda float64) (z, y int) {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic(fmt.Sprintf("xrand: CoupledPoissonPair rate %v out of range", lambda))
+	}
+	if lambda == 0 {
+		return 0, 0
+	}
+	u := r.Float64Open()
+	z = PoissonQuantile(lambda, u)
+	gamma := CouplingRate(lambda)
+	y = PoissonQuantile(gamma, u)
+	// Lemma 6.5 guarantees y <= max(0, z-1); clamp defensively so a
+	// floating-point boundary tie can never violate the gadget's invariant.
+	if max := z - 1; max < 0 {
+		y = 0
+	} else if y > max {
+		y = max
+	}
+	return z, y
+}
+
+// CoupledYGivenZ samples Y conditioned on Z = z under the same quantile
+// coupling as CoupledPoissonPair: the shared uniform, conditioned on Z = z,
+// is uniform on the z-th CDF slab (P_lambda(z-1), P_lambda(z)], so drawing
+// from that slab and inverting P_gamma reproduces the joint law exactly.
+// The marking procedure needs this form because the per-location counts Z
+// are realized by the simulated instances rather than freshly sampled.
+func (r *Rand) CoupledYGivenZ(lambda float64, z int) int {
+	if z <= 0 || lambda <= 0 {
+		return 0
+	}
+	lo := PoissonCDF(lambda, z-1)
+	hi := PoissonCDF(lambda, z)
+	u := lo + (hi-lo)*r.Float64Open()
+	y := PoissonQuantile(CouplingRate(lambda), u)
+	if y > z-1 {
+		y = z - 1
+	}
+	return y
+}
+
+// CouplingRate returns min(lambda²/4, lambda/4), the rate of the coupled
+// survivor variable Y in the paper's marking procedure.
+func CouplingRate(lambda float64) float64 {
+	q := lambda * lambda / 4
+	if l4 := lambda / 4; l4 < q {
+		return l4
+	}
+	return q
+}
+
+// normalApproxQuantile inverts a normal approximation with continuity
+// correction: X ≈ N(lambda, lambda).
+func normalApproxQuantile(lambda, u float64) int {
+	x := lambda + math.Sqrt(lambda)*normQuantile(u) - 0.5
+	if x < 0 {
+		return 0
+	}
+	return int(math.Round(x))
+}
+
+func normalApproxCDF(lambda float64, k int) float64 {
+	z := (float64(k) + 0.5 - lambda) / math.Sqrt(lambda)
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// normQuantile returns the standard normal quantile via bisection on the
+// erfc-based CDF. Bisection is branch-predictable, exact enough for the
+// tail regime it serves (|z| <= 40), and has no magic constants to verify.
+func normQuantile(u float64) float64 {
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*math.Erfc(-mid/math.Sqrt2) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

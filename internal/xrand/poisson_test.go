@@ -1,0 +1,219 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonZeroRate(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestPoissonMomentsSmallLambda(t *testing.T) {
+	// For a Poisson variable both mean and variance equal lambda.
+	r := New(21)
+	for _, lambda := range []float64{0.1, 0.5, 1, 4, 20, 100} {
+		const n = 60_000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		tol := 4 * math.Sqrt(lambda/n) * math.Max(1, math.Sqrt(lambda))
+		if math.Abs(mean-lambda) > math.Max(tol, 0.05*lambda+0.01) {
+			t.Errorf("lambda=%v: mean=%v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > math.Max(0.1*lambda, 0.05) {
+			t.Errorf("lambda=%v: variance=%v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonLargeLambdaRegime(t *testing.T) {
+	// Above the exact-summation cutoff the normal approximation takes over;
+	// the moments must still be right.
+	r := New(22)
+	const lambda = 2000.0
+	const n = 20_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(lambda))
+	}
+	if mean := sum / n; math.Abs(mean-lambda) > 5 {
+		t.Fatalf("lambda=%v: mean=%v", lambda, mean)
+	}
+}
+
+func TestPoissonCDFBasics(t *testing.T) {
+	if got := PoissonCDF(3, -1); got != 0 {
+		t.Errorf("CDF(3,-1) = %v, want 0", got)
+	}
+	if got := PoissonCDF(0, 0); got != 1 {
+		t.Errorf("CDF(0,0) = %v, want 1", got)
+	}
+	// P(X=0) = e^-lambda.
+	if got, want := PoissonCDF(2, 0), math.Exp(-2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(2,0) = %v, want %v", got, want)
+	}
+	// CDF is monotone in k and approaches 1.
+	prev := 0.0
+	for k := 0; k <= 40; k++ {
+		c := PoissonCDF(5, k)
+		if c < prev {
+			t.Fatalf("CDF(5,%d)=%v < CDF(5,%d)=%v", k, c, k-1, prev)
+		}
+		prev = c
+	}
+	if prev < 1-1e-9 {
+		t.Fatalf("CDF(5,40) = %v, want ~1", prev)
+	}
+}
+
+func TestPoissonQuantileInvertsCDF(t *testing.T) {
+	for _, lambda := range []float64{0.3, 1, 7, 50} {
+		for _, u := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			k := PoissonQuantile(lambda, u)
+			if PoissonCDF(lambda, k) < u {
+				t.Errorf("lambda=%v u=%v: CDF(quantile)=%v < u", lambda, u, PoissonCDF(lambda, k))
+			}
+			if k > 0 && PoissonCDF(lambda, k-1) >= u {
+				t.Errorf("lambda=%v u=%v: quantile %d not minimal", lambda, u, k)
+			}
+		}
+	}
+}
+
+// TestCDFDominanceLemma65 numerically verifies Lemma 6.5 of the paper:
+// P_lambda(n+1) <= P_gamma(n) with gamma = min(lambda^2/4, lambda/4), which
+// is the inequality that makes the quantile coupling sound.
+func TestCDFDominanceLemma65(t *testing.T) {
+	lambdas := []float64{0.05, 0.1, 0.25, 0.5, 1, 1.5, 2, 3, 5, 8, 13, 21, 50, 100, 300}
+	for _, lambda := range lambdas {
+		gamma := CouplingRate(lambda)
+		limit := int(lambda + 40*math.Sqrt(lambda) + 40)
+		for n := 0; n <= limit; n++ {
+			pl := PoissonCDF(lambda, n+1)
+			pg := PoissonCDF(gamma, n)
+			if pl > pg+1e-12 {
+				t.Fatalf("lambda=%v n=%d: P_lambda(n+1)=%v > P_gamma(n)=%v", lambda, n, pl, pg)
+			}
+		}
+	}
+}
+
+// TestCoupledPairInvariant property-tests the gadget's almost-sure
+// guarantee y <= max(0, z-1) across random rates and seeds.
+func TestCoupledPairInvariant(t *testing.T) {
+	property := func(seed uint64, rawLambda uint16) bool {
+		lambda := float64(rawLambda%1000)/100 + 0.01 // (0.01, 10.01)
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			z, y := r.CoupledPoissonPair(lambda)
+			if z == 0 && y != 0 {
+				return false
+			}
+			if z > 0 && y > z-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300, Rand: stdRandFrom(New(77))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoupledPairMarginals(t *testing.T) {
+	// z must have mean lambda; y must have mean close to gamma. (y's clamp
+	// fires with probability ~0 given Lemma 6.5, so the mean is preserved.)
+	r := New(31)
+	const lambda = 2.0
+	gamma := CouplingRate(lambda)
+	const n = 80_000
+	sumZ, sumY := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		z, y := r.CoupledPoissonPair(lambda)
+		sumZ += float64(z)
+		sumY += float64(y)
+	}
+	if meanZ := sumZ / n; math.Abs(meanZ-lambda) > 0.05 {
+		t.Errorf("mean z = %v, want ~%v", meanZ, lambda)
+	}
+	if meanY := sumY / n; math.Abs(meanY-gamma) > 0.05 {
+		t.Errorf("mean y = %v, want ~%v", meanY, gamma)
+	}
+}
+
+func TestCouplingRate(t *testing.T) {
+	tests := []struct {
+		lambda float64
+		want   float64
+	}{
+		{0, 0},
+		{0.5, 0.0625}, // lambda^2/4 branch
+		{1, 0.25},     // boundary: both equal
+		{4, 1},        // lambda/4 branch
+		{100, 25},     // lambda/4 branch
+	}
+	for _, tt := range tests {
+		if got := CouplingRate(tt.lambda); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CouplingRate(%v) = %v, want %v", tt.lambda, got, tt.want)
+		}
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	tests := []struct {
+		u    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.841344746068543, 1},
+		{0.158655253931457, -1},
+		{0.977249868051821, 2},
+	}
+	for _, tt := range tests {
+		if got := normQuantile(tt.u); math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("normQuantile(%v) = %v, want %v", tt.u, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(2.5)
+	}
+}
+
+func BenchmarkCoupledPair(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.CoupledPoissonPair(1.5)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}

@@ -1,0 +1,194 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("output %d diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 64 outputs", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	const n = 1 << 12
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	matches := 0
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches != 0 {
+		t.Fatalf("streams 0 and 1 matched on %d of %d outputs", matches, n)
+	}
+}
+
+func TestNewStreamDeterministic(t *testing.T) {
+	a := NewStream(9, 123)
+	b := NewStream(9, 123)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same (seed, stream) produced different outputs")
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference values for SplitMix64 seeded with 1234567, from the
+	// public-domain reference implementation by Sebastiano Vigna.
+	state := uint64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := splitMix64(&state); got != w {
+			t.Fatalf("splitMix64 output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-style sanity check: 10 buckets, 100k draws. With a fair
+	// generator each bucket holds 10k ± a few hundred.
+	const (
+		buckets = 10
+		draws   = 100_000
+	)
+	r := New(99)
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want-500 || c > want+500 {
+			t.Errorf("bucket %d: %d draws, want %d±500", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestFloat64OpenExcludesZero(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 100_000; i++ {
+		if f := r.Float64Open(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open() = %v out of (0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUnbiasedFirstElement(t *testing.T) {
+	// The first element of Perm(4) should be uniform over {0,1,2,3}.
+	r := New(11)
+	counts := make([]int, 4)
+	const trials = 40_000
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(4)[0]]++
+	}
+	for v, c := range counts {
+		if c < trials/4-600 || c > trials/4+600 {
+			t.Errorf("first element %d appeared %d times, want %d±600", v, c, trials/4)
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	r := New(13)
+	property := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		s := New(seed)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		s.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, n)
+		for _, v := range vals {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200, Rand: stdRandFrom(r)}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package renaming
+
+import (
+	"errors"
+
+	"repro/internal/splitter"
+)
+
+// ErrOneShot is returned by Release on namers whose algorithm is
+// inherently one-shot (Moir–Anderson splitter renaming).
+var ErrOneShot = errors.New("renaming: one-shot namer does not support Release")
+
+// MoirAnderson is the classic deterministic wait-free renaming of Moir and
+// Anderson (reference [31] of the paper), built from read/write registers
+// only — no test-and-set, no randomness. Each caller walks a triangular
+// grid of splitters in O(k) register operations and receives a name below
+// k(k+1)/2, where k is the actual contention.
+//
+// It is the paper's natural deterministic comparator: a *quadratic*
+// namespace at linear step cost, against which the randomized TAS-based
+// algorithms deliver O(k) names in O(log log k) probes. Experiment F6
+// measures the trade-off.
+type MoirAnderson struct {
+	grid *splitter.Grid
+}
+
+// NewMoirAnderson builds a one-shot deterministic namer for at most n
+// concurrent participants. Its namespace is n(n+1)/2 — quadratic, the
+// price of determinism (Moir–Anderson 1995).
+func NewMoirAnderson(n int) (*MoirAnderson, error) {
+	g, err := splitter.NewGrid(n)
+	if err != nil {
+		return nil, err
+	}
+	return &MoirAnderson{grid: g}, nil
+}
+
+// GetName implements Namer.
+func (m *MoirAnderson) GetName() (int, error) {
+	u := m.grid.GetName()
+	if u < 0 {
+		return 0, ErrNamespaceExhausted
+	}
+	return u, nil
+}
+
+// Namespace implements Namer.
+func (m *MoirAnderson) Namespace() int { return m.grid.Namespace() }
+
+// Release implements Namer; Moir–Anderson renaming is one-shot, so Release
+// always fails with ErrOneShot.
+func (m *MoirAnderson) Release(int) error { return ErrOneShot }
+
+// RegisterSteps returns the total read/write register operations performed
+// so far — the read-write model's analogue of TAS probe counts.
+func (m *MoirAnderson) RegisterSteps() int64 { return m.grid.Steps() }
+
+var _ Namer = (*MoirAnderson)(nil)

@@ -1,0 +1,111 @@
+package renaming
+
+import "fmt"
+
+// options collects the tunables shared by all namers.
+type options struct {
+	epsilon    float64
+	epsilonSet bool
+	beta       int
+	t0Override int
+	seed       uint64
+	padded     bool
+	counting   bool
+}
+
+func defaultOptions() options {
+	return options{
+		epsilon: 1,
+		seed:    0x6c6f6f73652d7265, // "loose-re", an arbitrary fixed default
+	}
+}
+
+// Option configures a namer constructor.
+type Option interface {
+	apply(*options) error
+}
+
+type optionFunc func(*options) error
+
+func (f optionFunc) apply(o *options) error { return f(o) }
+
+// WithEpsilon sets the namespace slack ε > 0: ReBatching and Adaptive use
+// namespaces of size ceil((1+ε)n). Smaller ε means tighter namespaces and
+// more probes (Eq. 2's t₀ grows like ln(1/ε)/ε). Default 1.
+func WithEpsilon(eps float64) Option {
+	return optionFunc(func(o *options) error {
+		if !(eps > 0) {
+			return fmt.Errorf("renaming: WithEpsilon(%v): need eps > 0", eps)
+		}
+		o.epsilon = eps
+		o.epsilonSet = true
+		return nil
+	})
+}
+
+// WithBeta sets the probe count β >= 1 on the last batch; larger β raises
+// the "with high probability" exponent of the step-complexity guarantee
+// (Theorem 4.1: β >= 2 bounds the expected step complexity, β >= 3 the
+// expected total work). Default 3.
+func WithBeta(beta int) Option {
+	return optionFunc(func(o *options) error {
+		if beta < 1 {
+			return fmt.Errorf("renaming: WithBeta(%d): need beta >= 1", beta)
+		}
+		o.beta = beta
+		return nil
+	})
+}
+
+// WithT0Override replaces the paper's batch-0 probe count
+// t₀ = ceil(17·ln(8e/ε)/ε) — 53 probes at ε = 1 — with a custom value.
+// The paper's constant is calibrated for worst-case adversarial schedules;
+// under realistic scheduling a t₀ of 4-8 preserves the log log n shape and
+// dramatically lowers the additive constant (see EXPERIMENTS.md F2).
+func WithT0Override(t0 int) Option {
+	return optionFunc(func(o *options) error {
+		if t0 < 1 {
+			return fmt.Errorf("renaming: WithT0Override(%d): need t0 >= 1", t0)
+		}
+		o.t0Override = t0
+		return nil
+	})
+}
+
+// WithSeed fixes the seed behind every caller's probe randomness, making
+// name assignment reproducible for a fixed schedule (useful in tests).
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(o *options) error {
+		o.seed = seed
+		return nil
+	})
+}
+
+// WithPaddedTAS places each TAS object on its own cache line (64 bytes
+// instead of 4 per name), eliminating false sharing between adjacent names
+// under heavy multicore contention. See the F4 ablation for measurements.
+func WithPaddedTAS() Option {
+	return optionFunc(func(o *options) error {
+		o.padded = true
+		return nil
+	})
+}
+
+// WithCounting instruments the namer with probe/win counters, readable via
+// the Probes method. Adds two atomic increments per probe.
+func WithCounting() Option {
+	return optionFunc(func(o *options) error {
+		o.counting = true
+		return nil
+	})
+}
+
+func collectOptions(opts []Option) (options, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt.apply(&o); err != nil {
+			return options{}, err
+		}
+	}
+	return o, nil
+}

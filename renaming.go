@@ -1,0 +1,241 @@
+// Package renaming provides randomized loose renaming for concurrent Go
+// programs: n goroutines can each acquire a distinct small integer name
+// from a namespace of size O(n), using only test-and-set (compare-and-swap)
+// operations, in O(log log n) expected probes per caller.
+//
+// The algorithms implement Alistarh, Aspnes, Giakkoupis and Woelfel,
+// "Randomized loose renaming in O(log log n) time" (PODC 2013):
+//
+//   - ReBatching (NewReBatching): non-adaptive — the maximum number of
+//     participants n is fixed up front; names come from [0, (1+ε)n); every
+//     caller finishes in log log n + O(1) probes with high probability.
+//   - AdaptiveReBatching (NewAdaptive): adaptive — only an upper bound on
+//     contention is fixed; with k actual participants, names are O(k) and
+//     each caller takes O((log log k)²) probes, both w.h.p.
+//   - FastAdaptiveReBatching (NewFastAdaptive): adaptive with total work
+//     O(k log log k) w.h.p. — the cheapest option when many callers rename
+//     at once.
+//
+// Baseline namers (NewUniform, NewLinearScan) implement the classical
+// alternatives for comparison; see EXPERIMENTS.md for measured trade-offs,
+// including the practical effect of the paper's large analysis constant t₀
+// (tunable via WithT0Override).
+//
+// All namers are safe for concurrent use. Renaming is one-shot in the
+// paper's model; the Release method is an extension that returns a name to
+// the pool (uniqueness remains guaranteed, the step-complexity analysis
+// does not carry over to heavy churn).
+//
+// The underlying algorithm implementations live in internal/core and are
+// shared with the adversarial-scheduler simulator used by the experiment
+// harness (cmd/renamebench).
+package renaming
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/tas"
+	"repro/internal/xrand"
+)
+
+// ErrNamespaceExhausted is returned by GetName when a namer cannot assign a
+// name because contention exceeded the configured capacity.
+var ErrNamespaceExhausted = errors.New("renaming: namespace exhausted (contention exceeded configured capacity)")
+
+// ErrNotHeld is returned by Release when the released name is not currently
+// assigned.
+var ErrNotHeld = errors.New("renaming: name not currently held")
+
+// Namer assigns distinct integer names to concurrent callers.
+type Namer interface {
+	// GetName acquires a name unique among all unreleased names handed out
+	// by this Namer. It is safe to call from multiple goroutines.
+	GetName() (int, error)
+	// Namespace returns the exclusive upper bound on names: every name lies
+	// in [0, Namespace()).
+	Namespace() int
+	// Release returns a previously acquired name to the pool (long-lived
+	// extension; not part of the paper's one-shot model).
+	Release(name int) error
+}
+
+// space is the TAS surface namers need: probing plus the release extension.
+type space interface {
+	tas.Space
+	IsSet(loc int) bool
+	Reset(loc int)
+}
+
+// namer is the shared concurrent driver around a core algorithm.
+type namer struct {
+	alg     core.Algorithm
+	mem     space
+	probes  *tas.Counting // nil unless WithCounting
+	seed    uint64
+	stream  atomic.Uint64
+	counted tas.Space // mem or counting wrapper; what algorithms probe
+}
+
+func newNamer(alg core.Algorithm, opts options) *namer {
+	var mem space
+	if opts.padded {
+		mem = tas.NewPadded(alg.Namespace())
+	} else {
+		mem = tas.NewDense(alg.Namespace())
+	}
+	n := &namer{alg: alg, mem: mem, seed: opts.seed}
+	n.counted = mem
+	if opts.counting {
+		n.probes = tas.NewCounting(mem)
+		n.counted = n.probes
+	}
+	return n
+}
+
+// env builds the per-call execution environment: the shared TAS space plus
+// a fresh private PRNG stream (derived from an atomic counter, so calls
+// never contend on randomness).
+func (n *namer) env() core.Env {
+	return &concurrentEnv{
+		space: n.counted,
+		rng:   xrand.NewStream(n.seed, n.stream.Add(1)),
+	}
+}
+
+// GetName implements Namer.
+func (n *namer) GetName() (int, error) {
+	u := n.alg.GetName(n.env())
+	if u == core.NoName {
+		return 0, ErrNamespaceExhausted
+	}
+	return u, nil
+}
+
+// Namespace implements Namer.
+func (n *namer) Namespace() int { return n.alg.Namespace() }
+
+// Release implements Namer.
+func (n *namer) Release(name int) error {
+	if name < 0 || name >= n.alg.Namespace() {
+		return fmt.Errorf("renaming: Release(%d): name outside [0,%d)", name, n.alg.Namespace())
+	}
+	if !n.mem.IsSet(name) {
+		return ErrNotHeld
+	}
+	n.mem.Reset(name)
+	return nil
+}
+
+// Probes returns the total number of TAS probes and the number of winning
+// probes executed so far. It returns ok = false unless the namer was built
+// with WithCounting.
+func (n *namer) Probes() (ops, wins int64, ok bool) {
+	if n.probes == nil {
+		return 0, 0, false
+	}
+	return n.probes.Ops(), n.probes.Wins(), true
+}
+
+// concurrentEnv implements core.Env over atomic shared memory.
+type concurrentEnv struct {
+	space tas.Space
+	rng   *xrand.Rand
+}
+
+func (e *concurrentEnv) TAS(loc int) bool { return e.space.TAS(loc) }
+func (e *concurrentEnv) Intn(n int) int   { return e.rng.Intn(n) }
+
+// ReBatching is the non-adaptive namer (§4 of the paper). Create one with
+// NewReBatching.
+type ReBatching struct {
+	*namer
+}
+
+// NewReBatching builds a namer for at most n concurrent participants with a
+// namespace of size ceil((1+ε)n) (ε defaults to 1; see WithEpsilon).
+func NewReBatching(n int, opts ...Option) (*ReBatching, error) {
+	o, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := core.NewReBatching(core.ReBatchingConfig{
+		N:          n,
+		Epsilon:    o.epsilon,
+		Beta:       o.beta,
+		T0Override: o.t0Override,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReBatching{namer: newNamer(alg, o)}, nil
+}
+
+// Adaptive is the adaptive namer (§5.1 of the paper). Create one with
+// NewAdaptive.
+type Adaptive struct {
+	*namer
+}
+
+// NewAdaptive builds an adaptive namer supporting up to maxContention
+// concurrent participants. With k <= maxContention actual participants,
+// names are O(k) and each GetName takes O((log log k)²) probes, w.h.p.
+func NewAdaptive(maxContention int, opts ...Option) (*Adaptive, error) {
+	o, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if maxContention < 1 {
+		return nil, fmt.Errorf("renaming: NewAdaptive(%d): need maxContention >= 1", maxContention)
+	}
+	alg, err := core.NewAdaptive(core.AdaptiveConfig{
+		Epsilon:    o.epsilon,
+		Beta:       o.beta,
+		T0Override: o.t0Override,
+		MaxLevel:   core.MaxLevelFor(maxContention),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{namer: newNamer(alg, o)}, nil
+}
+
+// FastAdaptive is the work-efficient adaptive namer (§5.2 of the paper).
+// Create one with NewFastAdaptive.
+type FastAdaptive struct {
+	*namer
+}
+
+// NewFastAdaptive builds an adaptive namer with O(k log log k) total work
+// for k participants, supporting up to maxContention concurrent callers.
+// The paper fixes this algorithm's namespace slack at ε = 1, so WithEpsilon
+// is rejected.
+func NewFastAdaptive(maxContention int, opts ...Option) (*FastAdaptive, error) {
+	o, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.epsilonSet && o.epsilon != 1 {
+		return nil, errors.New("renaming: NewFastAdaptive: the paper fixes epsilon = 1 for this algorithm")
+	}
+	if maxContention < 1 {
+		return nil, fmt.Errorf("renaming: NewFastAdaptive(%d): need maxContention >= 1", maxContention)
+	}
+	alg, err := core.NewFastAdaptive(core.FastAdaptiveConfig{
+		Beta:       o.beta,
+		T0Override: o.t0Override,
+		MaxLevel:   core.MaxLevelFor(maxContention),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FastAdaptive{namer: newNamer(alg, o)}, nil
+}
+
+var (
+	_ Namer = (*ReBatching)(nil)
+	_ Namer = (*Adaptive)(nil)
+	_ Namer = (*FastAdaptive)(nil)
+)
