@@ -267,6 +267,7 @@ func BenchmarkF4AdaptiveConcurrent(b *testing.B) {
 	}{
 		{"adaptive", func() (renaming.Namer, error) { return renaming.NewAdaptive(1 << 14) }},
 		{"fastadaptive", func() (renaming.Namer, error) { return renaming.NewFastAdaptive(1 << 14) }},
+		{"levelarray", func() (renaming.Namer, error) { return renaming.NewLevelArray(1 << 14) }},
 	}
 	for _, bl := range builders {
 		b.Run(bl.name, func(b *testing.B) {

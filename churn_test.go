@@ -19,6 +19,7 @@ func TestChurnNeverDoubleAllocates(t *testing.T) {
 		"adaptive":     func() (renaming.Namer, error) { return renaming.NewAdaptive(64) },
 		"fastadaptive": func() (renaming.Namer, error) { return renaming.NewFastAdaptive(64) },
 		"uniform":      func() (renaming.Namer, error) { return renaming.NewUniform(64) },
+		"levelarray":   func() (renaming.Namer, error) { return renaming.NewLevelArray(64) },
 	}
 	for name, mk := range namers {
 		t.Run(name, func(t *testing.T) {
@@ -137,4 +138,86 @@ func TestConcurrentMixedAcquireRelease(t *testing.T) {
 // Tuned returns the options used across stress tests: the practical t0.
 func Tuned() []renaming.Option {
 	return []renaming.Option{renaming.WithT0Override(6)}
+}
+
+// TestDoubleReleaseExactlyOneWins races many concurrent releases of the
+// same held name: exactly one must succeed and the rest must report
+// ErrNotHeld. Before Release was CAS-based, the IsSet+Reset window let
+// several racing releases all "succeed". (A stale release arriving after
+// a re-acquire is still unguarded here — that ABA needs the lease layer's
+// fencing tokens.)
+func TestDoubleReleaseExactlyOneWins(t *testing.T) {
+	namers := map[string]func() (renaming.Namer, error){
+		"rebatching": func() (renaming.Namer, error) { return renaming.NewReBatching(64) },
+		"levelarray": func() (renaming.Namer, error) { return renaming.NewLevelArray(64) },
+	}
+	for name, mk := range namers {
+		t.Run(name, func(t *testing.T) {
+			nm, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 50; round++ {
+				u, err := nm.GetName()
+				if err != nil {
+					t.Fatal(err)
+				}
+				const releasers = 8
+				var wins atomic.Int32
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for r := 0; r < releasers; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						switch err := nm.Release(u); err {
+						case nil:
+							wins.Add(1)
+						case renaming.ErrNotHeld:
+						default:
+							t.Errorf("unexpected Release error: %v", err)
+						}
+					}()
+				}
+				close(start)
+				wg.Wait()
+				if got := wins.Load(); got != 1 {
+					t.Fatalf("round %d: %d releases succeeded, want exactly 1", round, got)
+				}
+			}
+		})
+	}
+}
+
+// TestLevelArrayCapacityChurn holds the namer at full capacity and cycles
+// every name: Capacity() concurrent holders is the documented limit and
+// must never exhaust the namespace.
+func TestLevelArrayCapacityChurn(t *testing.T) {
+	nm, err := renaming.NewLevelArray(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Capacity() != 32 {
+		t.Fatalf("Capacity() = %d, want 32", nm.Capacity())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nm.Capacity(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < 200; c++ {
+				u, err := nm.GetName()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := nm.Release(u); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -33,7 +33,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("renamebench", flag.ContinueOnError)
 	var (
-		expList = fs.String("exp", "all", "comma-separated experiment ids (T1..T7, F1..F5) or 'all'")
+		expList = fs.String("exp", "all", "comma-separated experiment ids (T1..T7, F1..F7) or 'all'")
 		seed    = fs.Uint64("seed", 1, "master seed; fixed seed => identical tables")
 		quick   = fs.Bool("quick", false, "smaller sweeps for smoke runs")
 		csvDir  = fs.String("csv", "", "directory to also write per-experiment CSVs into")

@@ -1,0 +1,426 @@
+// Command renamed (rename-daemon) serves long-lived renaming over HTTP:
+// clients acquire a small integer identity with a TTL lease, keep it alive
+// with renewals, and release it when done. Expired leases are reclaimed by
+// a background sweeper, so crashed clients only waste a name for one TTL.
+//
+// The service is the system layer over this repository's algorithm stack:
+// an HTTP handler drives lease.Manager, which drives a renaming.Namer —
+// by default the LevelArray, whose constant expected probe bound is built
+// for exactly this sustained acquire/release traffic.
+//
+// Server mode:
+//
+//	renamed -addr :8077 -capacity 4096 -algo levelarray -ttl 30s
+//
+// Endpoints (JSON over POST unless noted):
+//
+//	POST /v1/acquire  {"owner":"w1","ttl_ms":5000,"meta":{...}}
+//	                  -> {"name":17,"token":42,"expires_at_ms":...}
+//	POST /v1/renew    {"name":17,"token":42,"ttl_ms":5000}
+//	POST /v1/release  {"name":17,"token":42}
+//	GET  /v1/leases   -> {"leases":[...]}
+//	GET  /healthz     -> ok
+//	GET  /debug/vars  -> expvar counters (renamed_* metrics)
+//
+// Load-generator mode hammers a running server and reports throughput:
+//
+//	renamed -load -target http://localhost:8077 -clients 32 -duration 5s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "renamed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("renamed", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8077", "listen address (server mode)")
+		capacity = fs.Int("capacity", 4096, "maximum concurrently leased names (hard cap, enforced; also sizes the namer)")
+		algo     = fs.String("algo", "levelarray", "namer algorithm: levelarray, rebatching, adaptive, fastadaptive, uniform")
+		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
+		sweep    = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
+		seed     = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
+
+		load     = fs.Bool("load", false, "run as load generator instead of server")
+		target   = fs.String("target", "http://localhost:8077", "server base URL (load mode)")
+		clients  = fs.Int("clients", 16, "concurrent clients (load mode)")
+		duration = fs.Duration("duration", 5*time.Second, "how long to generate load (load mode)")
+		renews   = fs.Int("renews", 2, "renewals per lease before release (load mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *load {
+		rep, err := runLoad(*target, *clients, *renews, *duration)
+		if err != nil {
+			return err
+		}
+		rep.print(out)
+		return nil
+	}
+
+	nm, err := buildNamer(*algo, *capacity, *seed)
+	if err != nil {
+		return err
+	}
+	// MaxLive pins the service to the namer's analyzed capacity: beyond it
+	// the probe guarantees lapse, so over-capacity acquires get 503 instead
+	// of silently degrading toward the backup scan.
+	mgr, err := lease.New(nm, lease.Config{TTL: *ttl, SweepInterval: *sweep, MaxLive: *capacity})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	fmt.Fprintf(out, "renamed: serving %s (capacity %d, namespace %d, ttl %v) on %s\n",
+		*algo, *capacity, nm.Namespace(), *ttl, *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(mgr),
+		// Slow-client bounds: a peer that stalls mid-headers or idles
+		// forever must not pin goroutines and file descriptors while
+		// legitimate holders' leases expire.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}
+
+// buildNamer constructs the requested namer; every algorithm in the
+// benchmark matrix is selectable so operators can compare them in situ.
+func buildNamer(algo string, capacity int, seed uint64) (renaming.Namer, error) {
+	var opts []renaming.Option
+	if seed != 0 {
+		opts = append(opts, renaming.WithSeed(seed))
+	}
+	switch algo {
+	case "levelarray":
+		return renaming.NewLevelArray(capacity, opts...)
+	case "rebatching":
+		return renaming.NewReBatching(capacity, opts...)
+	case "adaptive":
+		return renaming.NewAdaptive(capacity, opts...)
+	case "fastadaptive":
+		return renaming.NewFastAdaptive(capacity, opts...)
+	case "uniform":
+		return renaming.NewUniform(capacity, opts...)
+	default:
+		return nil, fmt.Errorf("unknown -algo %q", algo)
+	}
+}
+
+// server is the HTTP front end over a lease.Manager.
+type server struct {
+	mgr   *lease.Manager
+	mux   *http.ServeMux
+	start time.Time
+
+	// request counters, exported through expvar-style /debug/vars.
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// newServer wires the routes and metrics for one manager.
+func newServer(mgr *lease.Manager) *server {
+	s := &server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.Handle("GET /debug/vars", s.varsHandler())
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// varsHandler serves the expvar JSON format with the service's own gauges
+// under a private map, avoiding the process-global expvar registry so
+// multiple servers (tests) can coexist.
+func (s *server) varsHandler() http.Handler {
+	vars := expvar.Map{}
+	vars.Set("renamed_requests", expvar.Func(func() any { return s.requests.Load() }))
+	vars.Set("renamed_errors", expvar.Func(func() any { return s.errors.Load() }))
+	vars.Set("renamed_uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	vars.Set("renamed_lease", expvar.Func(func() any { return s.mgr.Metrics() }))
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{%q: %s}\n", "renamed", vars.String())
+	})
+}
+
+// Wire types. Durations travel as integer milliseconds, instants as Unix
+// milliseconds, so clients need no time-format parsing.
+type acquireRequest struct {
+	Owner string            `json:"owner"`
+	TTLms int64             `json:"ttl_ms,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+type renewRequest struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+	TTLms int64  `json:"ttl_ms,omitempty"`
+}
+
+type releaseRequest struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+}
+
+type leaseJSON struct {
+	Name        int               `json:"name"`
+	Token       uint64            `json:"token,omitempty"`
+	Owner       string            `json:"owner,omitempty"`
+	ExpiresAtMs int64             `json:"expires_at_ms"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+func toJSON(l lease.Lease) leaseJSON {
+	return leaseJSON{
+		Name:        l.Name,
+		Token:       l.Token,
+		Owner:       l.Owner,
+		ExpiresAtMs: l.ExpiresAt.UnixMilli(),
+		Meta:        l.Meta,
+	}
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ttlFromMs converts a client-supplied millisecond count to a Duration
+// without overflowing: a wrapped multiplication would turn "longest
+// possible lease" into a negative value the manager reads as "default
+// TTL". Saturated requests still get capped at the manager's MaxTTL.
+func ttlFromMs(ms int64) time.Duration {
+	if ms <= 0 {
+		return 0 // manager applies its default TTL
+	}
+	const maxMs = int64(math.MaxInt64) / int64(time.Millisecond)
+	if ms > maxMs {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+func (s *server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	l, err := s.mgr.Acquire(req.Owner, ttlFromMs(req.TTLms), req.Meta)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toJSON(l))
+}
+
+func (s *server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	l, err := s.mgr.Renew(req.Name, req.Token, ttlFromMs(req.TTLms))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toJSON(l))
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.mgr.Release(req.Name, req.Token); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
+	ls := s.mgr.Leases()
+	out := struct {
+		Leases []leaseJSON `json:"leases"`
+	}{Leases: make([]leaseJSON, len(ls))}
+	for i, l := range ls {
+		entry := toJSON(l)
+		// Fencing tokens are capabilities: only the holder (who got the
+		// token from acquire) may renew or release. Publishing them on a
+		// read endpoint would let any client hijack any lease.
+		entry.Token = 0
+		out.Leases[i] = entry
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(into); err != nil {
+		s.errors.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeError maps lease/namer errors onto HTTP status codes:
+// exhaustion is 503 (retryable), stale tokens are 409, expiry is 410,
+// unknown names are 404.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, renaming.ErrNamespaceExhausted), errors.Is(err, lease.ErrCapacity):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, lease.ErrWrongToken):
+		status = http.StatusConflict
+	case errors.Is(err, lease.ErrExpired):
+		status = http.StatusGone
+	case errors.Is(err, lease.ErrUnknownName):
+		status = http.StatusNotFound
+	case errors.Is(err, lease.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// loadReport aggregates a load-generator run.
+type loadReport struct {
+	Clients   int
+	Duration  time.Duration
+	Acquires  int64
+	Renews    int64
+	Releases  int64
+	Failures  int64
+	OpsPerSec float64
+}
+
+func (r loadReport) print(out io.Writer) {
+	fmt.Fprintf(out, "load: %d clients for %v\n", r.Clients, r.Duration)
+	fmt.Fprintf(out, "  acquires  %d\n  renews    %d\n  releases  %d\n  failures  %d\n",
+		r.Acquires, r.Renews, r.Releases, r.Failures)
+	fmt.Fprintf(out, "  throughput %.0f ops/sec\n", r.OpsPerSec)
+}
+
+// runLoad drives acquire -> renews -> release cycles against target from
+// `clients` goroutines for the given duration.
+func runLoad(target string, clients, renewsPerLease int, duration time.Duration) (loadReport, error) {
+	// Fail fast if the server is unreachable, rather than reporting a run
+	// with nothing but failures.
+	resp, err := http.Get(target + "/healthz")
+	if err != nil {
+		return loadReport{}, fmt.Errorf("target unreachable: %w", err)
+	}
+	resp.Body.Close()
+
+	var acquires, renews, releases, failures atomic.Int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			owner := fmt.Sprintf("loadgen-%d", id)
+			for time.Now().Before(deadline) {
+				var l leaseJSON
+				// If the server granted the lease but the response failed
+				// mid-read, the name stays leased until its TTL lapses; we
+				// can't release what we couldn't parse, so it's counted as
+				// a failure and left to the server's sweeper.
+				if !post(client, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
+					failures.Add(1)
+					continue
+				}
+				acquires.Add(1)
+				ok := true
+				for r := 0; r < renewsPerLease && ok; r++ {
+					if post(client, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
+						renews.Add(1)
+					} else {
+						failures.Add(1)
+						ok = false
+					}
+				}
+				if post(client, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
+					releases.Add(1)
+				} else {
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := acquires.Load() + renews.Load() + releases.Load()
+	return loadReport{
+		Clients:   clients,
+		Duration:  duration,
+		Acquires:  acquires.Load(),
+		Renews:    renews.Load(),
+		Releases:  releases.Load(),
+		Failures:  failures.Load(),
+		OpsPerSec: float64(total) / duration.Seconds(),
+	}, nil
+}
+
+// post sends one JSON request and decodes the response into out (if
+// non-nil), reporting success.
+func post(client *http.Client, url string, body, out any) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out) == nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	return true
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/lease"
+)
+
+// newTestServer spins a full service stack (LevelArray namer, lease
+// manager, HTTP handler) on an httptest listener.
+func newTestServer(t *testing.T, capacity int, cfg lease.Config) *httptest.Server {
+	t.Helper()
+	nm, err := buildNamer("levelarray", capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxLive = capacity // mirror run()'s production wiring
+	mgr, err := lease.New(nm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestAcquireRenewReleaseRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{
+		Owner: "w1", Meta: map[string]string{"zone": "a"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acquire status = %d, body %s", resp.StatusCode, body)
+	}
+	var l leaseJSON
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Owner != "w1" || l.Meta["zone"] != "a" || l.ExpiresAtMs == 0 {
+		t.Fatalf("acquire response incomplete: %+v", l)
+	}
+
+	resp, body = postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("renew status = %d, body %s", resp.StatusCode, body)
+	}
+	var renewed leaseJSON
+	if err := json.Unmarshal(body, &renewed); err != nil {
+		t.Fatal(err)
+	}
+	if renewed.ExpiresAtMs < l.ExpiresAtMs {
+		t.Fatalf("renewal moved expiry backwards: %d -> %d", l.ExpiresAtMs, renewed.ExpiresAtMs)
+	}
+
+	// The lease shows up in the listing.
+	listResp, err := http.Get(srv.URL + "/v1/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Leases []leaseJSON `json:"leases"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(listing.Leases) != 1 || listing.Leases[0].Name != l.Name {
+		t.Fatalf("listing = %+v", listing)
+	}
+	// Fencing tokens are holder-only capabilities and must never appear in
+	// the listing, or any client could hijack any lease.
+	if listing.Leases[0].Token != 0 {
+		t.Fatalf("listing leaked fencing token %d", listing.Leases[0].Token)
+	}
+
+	resp, body = postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release status = %d, body %s", resp.StatusCode, body)
+	}
+	// Releasing again is a 404: the lease is gone.
+	resp, _ = postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double release status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestErrorStatusMapping(t *testing.T) {
+	srv := newTestServer(t, 1, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	// Wrong token -> 409.
+	_, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
+	var l leaseJSON
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token + 99})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("wrong-token renew = %d, want 409", resp.StatusCode)
+	}
+
+	// Unknown name -> 404.
+	resp, _ = postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name + 1, Token: 1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown renew = %d, want 404", resp.StatusCode)
+	}
+
+	// Capacity 1 is a hard cap: a second concurrent lease -> 503.
+	resp, _ = postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity acquire = %d, want 503", resp.StatusCode)
+	}
+
+	// Malformed body -> 400.
+	badResp, err := http.Post(srv.URL+"/v1/acquire", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed acquire = %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestExpiredLeaseReclaimed is the acceptance flow: a lease that is never
+// renewed lapses, the sweeper returns its name to the pool, and a stale
+// renewal is rejected.
+func TestExpiredLeaseReclaimed(t *testing.T) {
+	srv := newTestServer(t, 1, lease.Config{
+		TTL:           20 * time.Millisecond,
+		SweepInterval: 5 * time.Millisecond,
+	})
+
+	_, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "crasher"})
+	var l leaseJSON
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait out the TTL plus sweeps. Capacity 1 is fully held by the
+	// crashed client, so a fresh acquisition succeeding proves its lease
+	// was reclaimed and the capacity slot freed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "fresh", TTLms: 60_000})
+		if resp.StatusCode == http.StatusOK {
+			var nl leaseJSON
+			if err := json.Unmarshal(body, &nl); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expired lease never reclaimed; last acquire = %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The crashed holder's token is dead: renewing with it is 404 or 410
+	// (depending on whether the sweeper or a re-acquisition got there first).
+	resp, _ := postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token})
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusGone &&
+		resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale renew = %d, want 404/409/410", resp.StatusCode)
+	}
+}
+
+// TestHugeTTLCappedNotWrapped sends a ttl_ms that would overflow the
+// nanosecond multiplication: the lease must come back capped at MaxTTL,
+// not defaulted (negative wrap) or arbitrary.
+func TestHugeTTLCappedNotWrapped(t *testing.T) {
+	srv := newTestServer(t, 4, lease.Config{TTL: time.Second, SweepInterval: -1})
+	resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{
+		Owner: "greedy", TTLms: 9_300_000_000_000_000, // ~295k years in ms
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("huge-ttl acquire = %d, body %s", resp.StatusCode, body)
+	}
+	var l leaseJSON
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+	// MaxTTL defaults to 10×TTL = 10s; allow slack for wall-clock skew.
+	capAt := time.Now().Add(11 * time.Second).UnixMilli()
+	if l.ExpiresAtMs > capAt {
+		t.Fatalf("expires_at_ms %d beyond the 10s MaxTTL cap (%d)", l.ExpiresAtMs, capAt)
+	}
+	if l.ExpiresAtMs < time.Now().Add(5*time.Second).UnixMilli() {
+		t.Fatalf("expires_at_ms %d collapsed below the requested cap — overflow wrapped", l.ExpiresAtMs)
+	}
+}
+
+func TestHealthAndVars(t *testing.T) {
+	srv := newTestServer(t, 4, lease.Config{TTL: time.Minute, SweepInterval: -1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
+	varsResp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Renamed struct {
+			Requests int64 `json:"renamed_requests"`
+			Lease    struct {
+				Acquired int64
+				Live     int
+			} `json:"renamed_lease"`
+		} `json:"renamed"`
+	}
+	if err := json.NewDecoder(varsResp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	varsResp.Body.Close()
+	if vars.Renamed.Requests < 2 {
+		t.Errorf("renamed_requests = %d, want >= 2", vars.Renamed.Requests)
+	}
+	if vars.Renamed.Lease.Acquired != 1 || vars.Renamed.Lease.Live != 1 {
+		t.Errorf("lease metrics = %+v", vars.Renamed.Lease)
+	}
+}
+
+// TestLoadGenerator points the built-in load generator at a test server:
+// a short run must complete cycles without a single failure.
+func TestLoadGenerator(t *testing.T) {
+	srv := newTestServer(t, 256, lease.Config{TTL: time.Minute, SweepInterval: -1})
+	rep, err := runLoad(srv.URL, 8, 2, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("load run had %d failures: %+v", rep.Failures, rep)
+	}
+	if rep.Acquires == 0 || rep.Releases != rep.Acquires {
+		t.Fatalf("unbalanced load run: %+v", rep)
+	}
+	if rep.Renews != 2*rep.Acquires {
+		t.Fatalf("renews = %d, want 2 per acquire: %+v", rep.Renews, rep)
+	}
+	var out bytes.Buffer
+	rep.print(&out)
+	if !strings.Contains(out.String(), "throughput") {
+		t.Fatalf("report output missing throughput: %q", out.String())
+	}
+}
+
+func TestLoadTargetUnreachable(t *testing.T) {
+	if _, err := runLoad("http://127.0.0.1:1", 1, 0, time.Millisecond); err == nil {
+		t.Fatal("runLoad against a dead target did not error")
+	}
+}
+
+func TestBuildNamer(t *testing.T) {
+	for _, algo := range []string{"levelarray", "rebatching", "adaptive", "fastadaptive", "uniform"} {
+		nm, err := buildNamer(algo, 16, 0)
+		if err != nil {
+			t.Errorf("buildNamer(%q): %v", algo, err)
+			continue
+		}
+		if nm.Namespace() < 16 {
+			t.Errorf("buildNamer(%q) namespace %d < capacity", algo, nm.Namespace())
+		}
+	}
+	if _, err := buildNamer("nope", 16, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -49,3 +49,16 @@ type Algorithm interface {
 	// based at location 0 this equals the namespace size.
 	Namespace() int
 }
+
+// LongLived marks algorithms whose probe-complexity analysis survives
+// release/re-acquire churn: as long as at most MaxConcurrency() names are
+// held at any instant, GetName keeps its stated probe bound in steady state.
+// Releasing a name is performed by the driver (resetting the TAS location),
+// not by the algorithm; the algorithms of this package are one-shot and do
+// not implement LongLived, internal/levelarray does.
+type LongLived interface {
+	Algorithm
+	// MaxConcurrency returns the largest number of concurrently held names
+	// the analysis supports.
+	MaxConcurrency() int
+}

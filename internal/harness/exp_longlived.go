@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	renaming "repro"
+)
+
+// runF7 is the long-lived benchmark matrix: sustained release/re-acquire
+// churn at a fixed background load, comparing the LevelArray against the
+// one-shot ReBatching family and the uniform baseline. The quantity
+// measured is steady-state TAS probes per acquire — the one-shot
+// algorithms' batch layouts drain under churn (released slots reopen in
+// batches later callers no longer probe effectively), while the LevelArray
+// paper's claim is that its per-level occupancy is self-stabilizing and
+// probes stay O(1).
+func runF7(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:      "F7",
+		Title:   "Long-lived churn: steady-state probes per acquire",
+		Claim:   "LevelArray keeps O(1) probes under release/re-acquire churn; one-shot layouts degrade",
+		Columns: []string{"namer", "load", "probes/acquire", "ns/cycle"},
+	}
+	capacity := 1 << 10
+	cycles := 400
+	if cfg.Quick {
+		capacity = 1 << 8
+		cycles = 100
+	}
+	const workers = 8
+
+	namers := []struct {
+		name string
+		mk   func(seed uint64) (renaming.Namer, error)
+	}{
+		{"levelarray", func(seed uint64) (renaming.Namer, error) {
+			return renaming.NewLevelArray(capacity, renaming.WithCounting(), renaming.WithSeed(seed))
+		}},
+		{"rebatching(t0=6)", func(seed uint64) (renaming.Namer, error) {
+			return renaming.NewReBatching(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
+		}},
+		{"adaptive", func(seed uint64) (renaming.Namer, error) {
+			return renaming.NewAdaptive(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
+		}},
+		{"fastadaptive", func(seed uint64) (renaming.Namer, error) {
+			return renaming.NewFastAdaptive(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
+		}},
+		{"uniform", func(seed uint64) (renaming.Namer, error) {
+			return renaming.NewUniform(capacity, renaming.WithCounting(), renaming.WithSeed(seed))
+		}},
+	}
+	loads := []float64{0.25, 0.5, 0.75}
+
+	for _, spec := range namers {
+		for li, load := range loads {
+			nm, err := spec.mk(seedAt(cfg.Seed, li))
+			if err != nil {
+				return nil, err
+			}
+			probes, nsPerCycle, err := churnProbes(nm, int(float64(capacity)*load), workers, cycles)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.name, fmt.Sprintf("%d%%", int(load*100)), probes, nsPerCycle)
+		}
+	}
+	t.AddNote("capacity n=%d, %d workers x %d release/re-acquire cycles after pinning load*n names", capacity, workers, cycles)
+	t.AddNote("measured after a warm-up quarter so tables reflect steady state, not the one-shot transient")
+	return t, nil
+}
+
+// churnProbes pins `pinned` names as background load, then runs workers
+// through release/re-acquire cycles and reports mean probes per acquire
+// (Release performs no probes) and mean wall-clock nanoseconds per full
+// acquire+release cycle.
+func churnProbes(nm renaming.Namer, pinned, workers, cycles int) (probes, nsPerCycle float64, err error) {
+	type prober interface {
+		Probes() (ops, wins int64, ok bool)
+	}
+	p, ok := nm.(prober)
+	if !ok {
+		return 0, 0, fmt.Errorf("namer %T does not expose probe counts", nm)
+	}
+	for i := 0; i < pinned; i++ {
+		if _, err := nm.GetName(); err != nil {
+			return 0, 0, fmt.Errorf("pinning name %d/%d: %w", i, pinned, err)
+		}
+	}
+	runWorkers := func(perWorker int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := 0; c < perWorker; c++ {
+					u, err := nm.GetName()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := nm.Release(u); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	// Warm the array into steady state before measuring, so the table
+	// reflects sustained traffic rather than the one-shot transient.
+	if err := runWorkers(cycles / 4); err != nil {
+		return 0, 0, err
+	}
+	opsBefore, _, _ := p.Probes()
+	start := time.Now()
+	if err := runWorkers(cycles); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	opsAfter, _, _ := p.Probes()
+	acquires := float64(workers * cycles)
+	return float64(opsAfter-opsBefore) / acquires, float64(elapsed.Nanoseconds()) / acquires, nil
+}

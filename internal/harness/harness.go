@@ -151,6 +151,7 @@ func Experiments() []Experiment {
 		{ID: "F4", Title: "Real-concurrency profile (goroutines, padded vs packed)", Run: runF4},
 		{ID: "F5", Title: "Crash-failure tolerance", Run: runF5},
 		{ID: "F6", Title: "Deterministic (Moir-Anderson) vs randomized adaptive", Run: runF6},
+		{ID: "F7", Title: "Long-lived churn: LevelArray vs one-shot namers", Run: runF7},
 	}
 }
 

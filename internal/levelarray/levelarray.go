@@ -1,0 +1,201 @@
+// Package levelarray implements the LevelArray long-lived loose-renaming
+// algorithm of Alistarh, Kopinsky, Matveev and Shavit, "The LevelArray: A
+// Fast, Practical Long-Lived Renaming Algorithm" (ICDCS 2014,
+// arXiv:1405.5461), adapted to this repository's TAS/Env substrate.
+//
+// The one-shot ReBatching algorithms of internal/core place their batches so
+// that *each process acquires once*; their analysis collapses under churn,
+// where released slots reopen in already-drained batches. The LevelArray is
+// built for the long-lived regime instead. The namespace is split into
+// geometrically shrinking levels
+//
+//	size(i) = ceil((1+γ)·N / 2^i),  i = 0, 1, ..., floor(log2 N)
+//
+// for capacity N (maximum concurrently held names) and per-level slack
+// γ > 0. A thread probes t uniformly random slots in level 0, then level 1,
+// and so on, taking the first test-and-set it wins; if every level fails it
+// falls back to a linear scan of the whole array. Releasing a name resets
+// its slot (the driver's TryReset), after which the slot is immediately
+// re-acquirable — there is no per-level occupancy bookkeeping to repair,
+// which is what makes release-and-reacquire safe.
+//
+// Why the levels stay useful under churn: with at most N names held, level 0
+// (size (1+γ)N) is at worst 1/(1+γ) full at every instant, so each level-0
+// probe wins with probability at least γ/(1+γ) — a coin flip at γ = 1 —
+// regardless of how many acquire/release cycles preceded it. Deeper levels
+// only see the exponentially small fraction of threads whose level-0 probes
+// all lost, so the expected probe count is a constant (≈ t/γ' summed over a
+// geometric series) in steady state, not just in a fresh array. The paper
+// proves the stronger statement that level i's occupancy stays O(N/2^i)
+// w.h.p., giving O(1) expected and O(log log N) w.h.p. probes per acquire.
+//
+// Total space is Σ size(i) < 2(1+γ)N = O(N), the loose-renaming namespace.
+package levelarray
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a LevelArray.
+type Config struct {
+	// N is the capacity: the maximum number of names held at any instant for
+	// which the probe analysis holds. Must be >= 1. Uniqueness and the
+	// backup-scan termination argument tolerate any load up to Namespace().
+	N int
+	// Gamma is the per-level slack γ > 0: level i holds ceil((1+γ)N/2^i)
+	// slots. Larger γ means fewer probes and more space. Defaults to 1.
+	Gamma float64
+	// Probes is the number of random probes per level before descending.
+	// Defaults to 2; the paper's analysis works for any constant >= 1.
+	Probes int
+	// DisableBackup omits the final linear scan, making GetName return
+	// NoName when every level probe loses (used by tests that measure pure
+	// level behaviour).
+	DisableBackup bool
+	// Base is the first global TAS location of this object; the object
+	// occupies locations [Base, Base+Size()).
+	Base int
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("levelarray: N = %d, need >= 1", c.N)
+	}
+	if c.Gamma != 0 && (!(c.Gamma > 0) || math.IsInf(c.Gamma, 0)) {
+		return fmt.Errorf("levelarray: Gamma = %v, need > 0", c.Gamma)
+	}
+	// The full array is < 2(1+γ)N slots; refuse configurations whose size
+	// would overflow int (the float→int conversion would otherwise wrap and
+	// panic deep inside make()).
+	if c.Gamma > 0 && (1+c.Gamma)*float64(c.N) > 1<<40 {
+		return fmt.Errorf("levelarray: (1+Gamma)*N = %v exceeds the 2^40-slot limit", (1+c.Gamma)*float64(c.N))
+	}
+	if c.Probes < 0 {
+		return fmt.Errorf("levelarray: Probes = %d, need >= 0", c.Probes)
+	}
+	if c.Base < 0 {
+		return fmt.Errorf("levelarray: Base = %d, need >= 0", c.Base)
+	}
+	return nil
+}
+
+// level is one geometric tier of the array.
+type level struct {
+	start int // offset of the level's first slot relative to Base
+	size  int
+}
+
+// LevelArray is the long-lived namer. Like the core algorithms it is
+// immutable after construction and shared by all processes of an execution;
+// every bit of mutable state lives behind Env.TAS, so the same object drives
+// both the concurrent library and the lock-step simulator.
+type LevelArray struct {
+	cfg    Config
+	m      int // total slots
+	levels []level
+}
+
+// New builds the level layout for cfg.
+func New(cfg Config) (*LevelArray, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 1
+	}
+	if cfg.Probes == 0 {
+		cfg.Probes = 2
+	}
+	la := &LevelArray{cfg: cfg}
+	la.levels, la.m = buildLevels(cfg.N, cfg.Gamma)
+	return la, nil
+}
+
+// Must is New for statically-valid configurations.
+func Must(cfg Config) *LevelArray {
+	la, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return la
+}
+
+// buildLevels materializes size(i) = ceil((1+γ)N/2^i), capped at
+// floor(log2 N)+1 levels so the tail does not degenerate into many 1-slot
+// levels (the ceiling keeps every level's size >= 1).
+func buildLevels(n int, gamma float64) ([]level, int) {
+	maxLevels := int(math.Floor(math.Log2(float64(n)))) + 1
+	levels := make([]level, 0, maxLevels)
+	next := 0
+	for i := 0; i < maxLevels; i++ {
+		size := int(math.Ceil((1 + gamma) * float64(n) / float64(int64(1)<<i)))
+		levels = append(levels, level{start: next, size: size})
+		next += size
+	}
+	return levels, next
+}
+
+// GetName probes cfg.Probes random slots per level, top level first, and
+// returns the first location won; if every level loses it linearly scans
+// the whole array (the long-lived analogue of ReBatching's backup phase).
+// The returned name is a global location index in [Base, Base+Size()), or
+// core.NoName.
+func (la *LevelArray) GetName(env core.Env) int {
+	for _, lv := range la.levels {
+		for j := 0; j < la.cfg.Probes; j++ {
+			x := env.Intn(lv.size)
+			if env.TAS(la.cfg.Base + lv.start + x) {
+				return la.cfg.Base + lv.start + x
+			}
+		}
+	}
+	if la.cfg.DisableBackup {
+		return core.NoName
+	}
+	for u := 0; u < la.m; u++ {
+		if env.TAS(la.cfg.Base + u) {
+			return la.cfg.Base + u
+		}
+	}
+	return core.NoName
+}
+
+// Namespace returns the exclusive upper bound on names, Base + Size().
+func (la *LevelArray) Namespace() int { return la.cfg.Base + la.m }
+
+// MaxConcurrency implements core.LongLived: the capacity N.
+func (la *LevelArray) MaxConcurrency() int { return la.cfg.N }
+
+// Size returns the total number of slots, Σ ceil((1+γ)N/2^i) < 2(1+γ)N.
+func (la *LevelArray) Size() int { return la.m }
+
+// Base returns the object's first global location.
+func (la *LevelArray) Base() int { return la.cfg.Base }
+
+// Levels returns the number of levels, floor(log2 N)+1.
+func (la *LevelArray) Levels() int { return len(la.levels) }
+
+// LevelBounds returns the global location range [lo, hi) of level i, for
+// tests and instrumentation.
+func (la *LevelArray) LevelBounds(i int) (lo, hi int) {
+	lv := la.levels[i]
+	return la.cfg.Base + lv.start, la.cfg.Base + lv.start + lv.size
+}
+
+// MaxProbeSteps returns the worst-case TAS steps of one GetName call: all
+// level probes plus (unless disabled) the full backup scan.
+func (la *LevelArray) MaxProbeSteps() int {
+	total := len(la.levels) * la.cfg.Probes
+	if !la.cfg.DisableBackup {
+		total += la.m
+	}
+	return total
+}
+
+var (
+	_ core.Algorithm = (*LevelArray)(nil)
+	_ core.LongLived = (*LevelArray)(nil)
+)

@@ -74,6 +74,15 @@ func (d *Dense) Reset(loc int) {
 	atomic.StoreInt32(&d.cells[loc], 0)
 }
 
+// TryReset atomically returns location loc to the unset state and reports
+// whether this call performed the transition. Exactly one of any set of
+// concurrent TryReset calls on a set location succeeds, which is what makes
+// releasing a name linearizable: a blind Reset after an IsSet check is
+// check-then-act and lets two releases of the same name both "succeed".
+func (d *Dense) TryReset(loc int) bool {
+	return atomic.CompareAndSwapInt32(&d.cells[loc], 1, 0)
+}
+
 const cacheLineBytes = 64
 
 type paddedCell struct {
@@ -112,6 +121,12 @@ func (p *Padded) IsSet(loc int) bool {
 // Reset returns location loc to the unset state (long-lived extension).
 func (p *Padded) Reset(loc int) {
 	atomic.StoreInt32(&p.cells[loc].v, 0)
+}
+
+// TryReset atomically unsets loc, reporting whether this call won the
+// set→unset transition (see Dense.TryReset).
+func (p *Padded) TryReset(loc int) bool {
+	return atomic.CompareAndSwapInt32(&p.cells[loc].v, 1, 0)
 }
 
 // Sparse is a lazily-allocated TAS space over the entire non-negative int
@@ -158,6 +173,16 @@ func (s *Sparse) IsSet(loc int) bool {
 // Reset returns location loc to the unset state (long-lived extension).
 func (s *Sparse) Reset(loc int) {
 	delete(s.set, loc)
+}
+
+// TryReset unsets loc and reports whether it was set. Sparse is
+// single-threaded, so the check-then-act is trivially atomic.
+func (s *Sparse) TryReset(loc int) bool {
+	if _, taken := s.set[loc]; !taken {
+		return false
+	}
+	delete(s.set, loc)
+	return true
 }
 
 // Counting wraps a Space and counts TAS operations and wins. The counters

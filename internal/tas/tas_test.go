@@ -19,6 +19,7 @@ type resettable interface {
 	Space
 	IsSet(loc int) bool
 	Reset(loc int)
+	TryReset(loc int) bool
 }
 
 func spaces(n int) map[string]resettable {
@@ -63,6 +64,71 @@ func TestIsSetAndReset(t *testing.T) {
 			}
 			if !s.TAS(1) {
 				t.Fatal("TAS after Reset lost")
+			}
+		})
+	}
+}
+
+func TestTryReset(t *testing.T) {
+	for name, s := range spaces(4) {
+		t.Run(name, func(t *testing.T) {
+			if s.TryReset(2) {
+				t.Fatal("TryReset won on an unset location")
+			}
+			s.TAS(2)
+			if !s.TryReset(2) {
+				t.Fatal("TryReset lost on a set location")
+			}
+			if s.TryReset(2) {
+				t.Fatal("second TryReset won")
+			}
+			if !s.TAS(2) {
+				t.Fatal("TAS after TryReset lost")
+			}
+		})
+	}
+}
+
+// TestConcurrentTryResetSingleWinner is the release analogue of
+// TestConcurrentSingleWinner: for a set location, exactly one of many
+// racing TryReset calls may win.
+func TestConcurrentTryResetSingleWinner(t *testing.T) {
+	concurrent := map[string]resettable{
+		"dense":  NewDense(64),
+		"padded": NewPadded(64),
+	}
+	for name, s := range concurrent {
+		t.Run(name, func(t *testing.T) {
+			const (
+				locations  = 64
+				goroutines = 32
+			)
+			for loc := 0; loc < locations; loc++ {
+				s.TAS(loc)
+			}
+			winners := make([][]int32, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				winners[g] = make([]int32, locations)
+				wg.Add(1)
+				go func(mine []int32) {
+					defer wg.Done()
+					for loc := 0; loc < locations; loc++ {
+						if s.TryReset(loc) {
+							mine[loc] = 1
+						}
+					}
+				}(winners[g])
+			}
+			wg.Wait()
+			for loc := 0; loc < locations; loc++ {
+				total := int32(0)
+				for g := 0; g < goroutines; g++ {
+					total += winners[g][loc]
+				}
+				if total != 1 {
+					t.Errorf("location %d had %d TryReset winners, want 1", loc, total)
+				}
 			}
 		})
 	}

@@ -1,0 +1,410 @@
+// Package lease turns a one-shot name assignment (renaming.Namer) into a
+// production-grade identity lease service: every acquired name carries a
+// TTL, a fencing token, an owner string and arbitrary metadata. Holders
+// keep a name alive by renewing before the TTL elapses; names whose leases
+// expire are reclaimed — lazily on access and eagerly by a background
+// sweeper — and returned to the namer's pool for re-assignment.
+//
+// This is the exclusive-assignment semantics of Chlebus and Kowalski,
+// "Asynchronous Exclusive Selection": at every instant each name has at
+// most one live holder, and a holder that stalls past its TTL loses the
+// name without any action on its part. Fencing tokens make the loss safe
+// to detect: a stale holder's Renew or Release fails with ErrWrongToken
+// because the token was minted for a lease that no longer exists.
+//
+// The package layers on any Namer; pair it with renaming.NewLevelArray to
+// get constant expected probes under sustained lease churn.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	renaming "repro"
+)
+
+// Errors returned by Manager operations.
+var (
+	// ErrUnknownName is returned for operations on a name with no live lease.
+	ErrUnknownName = errors.New("lease: no live lease for name")
+	// ErrWrongToken is returned when the caller's fencing token does not
+	// match the live lease — the caller is a stale holder.
+	ErrWrongToken = errors.New("lease: fencing token mismatch")
+	// ErrExpired is returned by Renew when the lease's TTL elapsed before
+	// the renewal arrived; the name has been (or is about to be) reclaimed.
+	ErrExpired = errors.New("lease: lease expired before renewal")
+	// ErrClosed is returned by operations on a closed Manager.
+	ErrClosed = errors.New("lease: manager closed")
+	// ErrCapacity is returned by Acquire when MaxLive leases are already
+	// held. Distinct from namespace exhaustion: the namer still has slots,
+	// but granting more would void its probe guarantees.
+	ErrCapacity = errors.New("lease: live-lease capacity reached")
+)
+
+// Lease is a snapshot of one live lease. Copies are handed out; mutating a
+// returned Lease (or its Meta map) does not affect the manager's state.
+type Lease struct {
+	// Name is the integer name held, in [0, Namespace()).
+	Name int
+	// Token is the fencing token minted at acquisition, unique across the
+	// manager's lifetime. Renew and Release require it.
+	Token uint64
+	// Owner is the caller-supplied identity that acquired the lease.
+	Owner string
+	// ExpiresAt is the instant the lease lapses unless renewed.
+	ExpiresAt time.Time
+	// Meta is the caller-supplied metadata attached at acquisition.
+	Meta map[string]string
+}
+
+func (l Lease) clone() Lease {
+	if l.Meta != nil {
+		m := make(map[string]string, len(l.Meta))
+		for k, v := range l.Meta {
+			m[k] = v
+		}
+		l.Meta = m
+	}
+	return l
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// TTL is the lease duration granted by Acquire and Renew when the
+	// caller does not request one. Defaults to 30 seconds.
+	TTL time.Duration
+	// MaxTTL caps caller-requested durations. Defaults to 10×TTL.
+	MaxTTL time.Duration
+	// SweepInterval is the period of the background reclamation sweep.
+	// Defaults to TTL/4. Set negative to disable the sweeper entirely
+	// (expired leases are then reclaimed only lazily, on access, or by
+	// explicit SweepOnce calls — how the tests drive reclamation
+	// deterministically).
+	SweepInterval time.Duration
+	// MaxLive, if positive, caps the number of concurrently live leases.
+	// Long-lived namers guarantee their probe bounds only up to a
+	// capacity; set MaxLive to that capacity to enforce it (Acquire then
+	// fails with ErrCapacity instead of degrading). 0 means uncapped —
+	// the namer's namespace is the only limit.
+	MaxLive int
+	// Now is the clock; defaults to time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Second
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 10 * c.TTL
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.TTL / 4
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Metrics is a snapshot of the manager's operation counters.
+type Metrics struct {
+	Acquired int64 // leases granted
+	Renewed  int64 // successful renewals
+	Released int64 // explicit releases
+	Expired  int64 // leases reclaimed after TTL lapse
+	Rejected int64 // operations refused (exhausted, wrong token, expired, unknown)
+	Live     int   // unexpired leases currently held
+}
+
+// Manager grants, renews, expires and reclaims leases over a Namer.
+// All methods are safe for concurrent use.
+type Manager struct {
+	namer renaming.Namer
+	cfg   Config
+
+	mu     sync.Mutex
+	leases map[int]Lease
+	closed bool
+
+	token atomic.Uint64
+
+	acquired atomic.Int64
+	renewed  atomic.Int64
+	released atomic.Int64
+	expired  atomic.Int64
+	rejected atomic.Int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Manager over namer and starts its background sweeper
+// (unless cfg.SweepInterval < 0). Close releases the sweeper.
+func New(namer renaming.Namer, cfg Config) (*Manager, error) {
+	if namer == nil {
+		return nil, errors.New("lease: nil namer")
+	}
+	cfg.applyDefaults()
+	m := &Manager{
+		namer:  namer,
+		cfg:    cfg,
+		leases: make(map[int]Lease),
+		done:   make(chan struct{}),
+	}
+	if cfg.SweepInterval > 0 {
+		m.wg.Add(1)
+		go m.sweepLoop()
+	}
+	return m, nil
+}
+
+func (m *Manager) sweepLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			m.SweepOnce()
+		}
+	}
+}
+
+// clampTTL resolves a caller-requested duration against the config.
+func (m *Manager) clampTTL(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return m.cfg.TTL
+	}
+	if ttl > m.cfg.MaxTTL {
+		return m.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// Acquire grants a lease on a fresh name for owner. ttl <= 0 means the
+// configured default; larger requests are capped at MaxTTL. meta is copied.
+// When the namer cannot assign a name the error wraps
+// renaming.ErrNamespaceExhausted.
+func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Lease{}, ErrClosed
+	}
+	if m.cfg.MaxLive > 0 && len(m.leases) >= m.cfg.MaxLive {
+		// Under capacity pressure, reclaim expired leases eagerly rather
+		// than waiting for the sweeper's next tick.
+		m.sweepLocked(m.cfg.Now())
+		if len(m.leases) >= m.cfg.MaxLive {
+			m.mu.Unlock()
+			m.rejected.Add(1)
+			return Lease{}, ErrCapacity
+		}
+	}
+	m.mu.Unlock()
+
+	// GetName is lock-free on the TAS array; keep it outside the manager
+	// lock so acquisitions scale with the namer, not the bookkeeping.
+	name, err := m.namer.GetName()
+	if err != nil {
+		m.rejected.Add(1)
+		return Lease{}, fmt.Errorf("lease: acquire: %w", err)
+	}
+	l := Lease{
+		Name:      name,
+		Token:     m.token.Add(1),
+		Owner:     owner,
+		ExpiresAt: m.cfg.Now().Add(m.clampTTL(ttl)),
+		Meta:      meta,
+	}.clone()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		// Raced with Close: hand the name straight back.
+		m.namer.Release(name)
+		return Lease{}, ErrClosed
+	}
+	if m.cfg.MaxLive > 0 && len(m.leases) >= m.cfg.MaxLive {
+		// Lost the capacity race to a concurrent Acquire between the
+		// check and the grant: roll the name back.
+		m.namer.Release(name)
+		m.rejected.Add(1)
+		return Lease{}, ErrCapacity
+	}
+	m.leases[name] = l
+	m.acquired.Add(1)
+	return l.clone(), nil
+}
+
+// Renew extends the lease identified by (name, token) by ttl (<= 0 means
+// the configured default). A renewal that arrives after expiry fails with
+// ErrExpired and reclaims the name immediately.
+func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Lease{}, ErrClosed
+	}
+	l, ok := m.leases[name]
+	if !ok {
+		m.rejected.Add(1)
+		return Lease{}, ErrUnknownName
+	}
+	if l.Token != token {
+		m.rejected.Add(1)
+		return Lease{}, ErrWrongToken
+	}
+	now := m.cfg.Now()
+	if now.After(l.ExpiresAt) {
+		m.reclaimLocked(name)
+		m.rejected.Add(1)
+		return Lease{}, ErrExpired
+	}
+	l.ExpiresAt = now.Add(m.clampTTL(ttl))
+	m.leases[name] = l
+	m.renewed.Add(1)
+	return l.clone(), nil
+}
+
+// Release ends the lease identified by (name, token) and returns the name
+// to the namer's pool. A release that arrives after expiry fails with
+// ErrExpired — the holder already lost the name — and reclaims it
+// immediately, so the outcome does not depend on sweeper timing.
+func (m *Manager) Release(name int, token uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	l, ok := m.leases[name]
+	if !ok {
+		m.rejected.Add(1)
+		return ErrUnknownName
+	}
+	if l.Token != token {
+		m.rejected.Add(1)
+		return ErrWrongToken
+	}
+	if m.cfg.Now().After(l.ExpiresAt) {
+		m.reclaimLocked(name)
+		m.rejected.Add(1)
+		return ErrExpired
+	}
+	delete(m.leases, name)
+	m.released.Add(1)
+	return m.namer.Release(name)
+}
+
+// Get returns the live lease for name, reclaiming it first if it already
+// expired (in which case ok is false).
+func (m *Manager) Get(name int) (l Lease, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok = m.leases[name]
+	if !ok {
+		return Lease{}, false
+	}
+	if m.cfg.Now().After(l.ExpiresAt) {
+		m.reclaimLocked(name)
+		return Lease{}, false
+	}
+	return l.clone(), true
+}
+
+// Leases snapshots all live (unexpired) leases, ordered by name.
+func (m *Manager) Leases() []Lease {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Lease, 0, len(m.leases))
+	for _, l := range m.leases {
+		if now.After(l.ExpiresAt) {
+			continue
+		}
+		out = append(out, l.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SweepOnce reclaims every expired lease now and reports how many it
+// reclaimed. The background sweeper calls this on every tick; tests call
+// it directly for deterministic reclamation.
+func (m *Manager) SweepOnce() int {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(now)
+}
+
+// sweepLocked reclaims expired leases. Callers hold m.mu.
+func (m *Manager) sweepLocked(now time.Time) int {
+	reclaimed := 0
+	for name, l := range m.leases {
+		if now.After(l.ExpiresAt) {
+			m.reclaimLocked(name)
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
+// reclaimLocked drops name's lease and returns the name to the pool.
+// Callers hold m.mu.
+func (m *Manager) reclaimLocked(name int) {
+	delete(m.leases, name)
+	m.expired.Add(1)
+	m.namer.Release(name)
+}
+
+// Metrics returns a snapshot of the operation counters. Live excludes
+// leases that have expired but not yet been reclaimed, matching Leases(),
+// so dashboards don't show phantom holders when the sweeper is off.
+func (m *Manager) Metrics() Metrics {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	live := 0
+	for _, l := range m.leases {
+		if !now.After(l.ExpiresAt) {
+			live++
+		}
+	}
+	m.mu.Unlock()
+	return Metrics{
+		Acquired: m.acquired.Load(),
+		Renewed:  m.renewed.Load(),
+		Released: m.released.Load(),
+		Expired:  m.expired.Load(),
+		Rejected: m.rejected.Load(),
+		Live:     live,
+	}
+}
+
+// Namespace exposes the underlying namer's namespace bound.
+func (m *Manager) Namespace() int { return m.namer.Namespace() }
+
+// Close stops the sweeper, releases every live lease back to the namer and
+// rejects all further operations. Close is idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for name := range m.leases {
+		delete(m.leases, name)
+		m.namer.Release(name)
+	}
+	m.mu.Unlock()
+	close(m.done)
+	m.wg.Wait()
+	return nil
+}

@@ -1,0 +1,47 @@
+package renaming
+
+import (
+	"fmt"
+
+	"repro/internal/levelarray"
+)
+
+// LevelArray is the long-lived namer of Alistarh, Kopinsky, Matveev and
+// Shavit, "The LevelArray: A Fast, Practical Long-Lived Renaming Algorithm"
+// (ICDCS 2014). Unlike the one-shot ReBatching family, its constant expected
+// probe bound holds in steady state under arbitrary Release/GetName churn,
+// as long as at most Capacity() names are held at any instant. Create one
+// with NewLevelArray.
+type LevelArray struct {
+	*namer
+	alg *levelarray.LevelArray
+}
+
+// NewLevelArray builds a long-lived namer with capacity n: at most n names
+// held concurrently, out of a namespace of size just under 2(1+γ)n. The
+// per-level slack γ is set with WithEpsilon (default 1) and the per-level
+// probe count with WithLevelProbes (default 2).
+func NewLevelArray(n int, opts ...Option) (*LevelArray, error) {
+	o, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("renaming: NewLevelArray(%d): need capacity >= 1", n)
+	}
+	alg, err := levelarray.New(levelarray.Config{
+		N:      n,
+		Gamma:  o.epsilon,
+		Probes: o.levelProbes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LevelArray{namer: newNamer(alg, o), alg: alg}, nil
+}
+
+// Capacity implements LongLivedNamer: the maximum number of concurrently
+// held names for which the constant-probe analysis holds.
+func (l *LevelArray) Capacity() int { return l.alg.MaxConcurrency() }
+
+var _ LongLivedNamer = (*LevelArray)(nil)

@@ -4,13 +4,14 @@ import "fmt"
 
 // options collects the tunables shared by all namers.
 type options struct {
-	epsilon    float64
-	epsilonSet bool
-	beta       int
-	t0Override int
-	seed       uint64
-	padded     bool
-	counting   bool
+	epsilon     float64
+	epsilonSet  bool
+	beta        int
+	t0Override  int
+	seed        uint64
+	padded      bool
+	counting    bool
+	levelProbes int
 }
 
 func defaultOptions() options {
@@ -77,6 +78,21 @@ func WithT0Override(t0 int) Option {
 func WithSeed(seed uint64) Option {
 	return optionFunc(func(o *options) error {
 		o.seed = seed
+		return nil
+	})
+}
+
+// WithLevelProbes sets the number of random probes LevelArray performs per
+// level before descending (default 2). More probes per level keep callers
+// in the large top levels longer, trading a slightly higher expected probe
+// count for a smaller chance of reaching the backup scan. Only NewLevelArray
+// reads this option; the one-shot constructors ignore it.
+func WithLevelProbes(t int) Option {
+	return optionFunc(func(o *options) error {
+		if t < 1 {
+			return fmt.Errorf("renaming: WithLevelProbes(%d): need t >= 1", t)
+		}
+		o.levelProbes = t
 		return nil
 	})
 }

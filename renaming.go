@@ -49,6 +49,19 @@ var ErrNamespaceExhausted = errors.New("renaming: namespace exhausted (contentio
 // assigned.
 var ErrNotHeld = errors.New("renaming: name not currently held")
 
+// LongLivedNamer is a Namer whose probe-complexity guarantees survive
+// arbitrary release/re-acquire churn, as long as at most Capacity() names
+// are held at any instant. The one-shot namers above also expose Release,
+// but only LevelArray (and future long-lived algorithms) carry an analysis
+// for the steady state.
+type LongLivedNamer interface {
+	Namer
+	// Capacity returns the maximum number of concurrently held names for
+	// which the namer's performance guarantees hold. Uniqueness holds
+	// unconditionally.
+	Capacity() int
+}
+
 // Namer assigns distinct integer names to concurrent callers.
 type Namer interface {
 	// GetName acquires a name unique among all unreleased names handed out
@@ -62,11 +75,11 @@ type Namer interface {
 	Release(name int) error
 }
 
-// space is the TAS surface namers need: probing plus the release extension.
+// space is the TAS surface namers need: probing plus the atomic release
+// extension.
 type space interface {
 	tas.Space
-	IsSet(loc int) bool
-	Reset(loc int)
+	TryReset(loc int) bool
 }
 
 // namer is the shared concurrent driver around a core algorithm.
@@ -117,15 +130,22 @@ func (n *namer) GetName() (int, error) {
 // Namespace implements Namer.
 func (n *namer) Namespace() int { return n.alg.Namespace() }
 
-// Release implements Namer.
+// Release implements Namer. The set→unset transition is a single CAS
+// (tas.TryReset), so while the slot stays set, exactly one of any number
+// of racing releases succeeds and the rest report ErrNotHeld — an IsSet
+// check followed by a blind Reset would let several succeed. Note the
+// limit of a token-less API: if a stale duplicate release arrives *after*
+// the name has been re-acquired, the CAS cannot tell the new holder's slot
+// from the old one and will free it. Callers that cannot rule out stale
+// releases should layer package lease on top, whose fencing tokens reject
+// them.
 func (n *namer) Release(name int) error {
 	if name < 0 || name >= n.alg.Namespace() {
 		return fmt.Errorf("renaming: Release(%d): name outside [0,%d)", name, n.alg.Namespace())
 	}
-	if !n.mem.IsSet(name) {
+	if !n.mem.TryReset(name) {
 		return ErrNotHeld
 	}
-	n.mem.Reset(name)
 	return nil
 }
 
