@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log₂-bucketed latency histogram: bucket i
+// counts durations in [2^(i-1), 2^i) nanoseconds, so 64 counters cover
+// every possible Duration with ≤ 2× quantile error — plenty for the
+// per-op service latencies exported in /debug/vars and reported by the
+// load generator, at the cost of one atomic add per observation.
+type latencyHist struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [65]atomic.Int64
+}
+
+func (h *latencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed durations: the top of the bucket the rank lands in. Counters
+// are read without a global snapshot, so concurrent observers can skew a
+// quantile by the in-flight handful — fine for monitoring.
+func (h *latencyHist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	bound := func(i int) time.Duration {
+		if i == 0 {
+			return 0
+		}
+		if i >= 63 {
+			return time.Duration(math.MaxInt64)
+		}
+		return time.Duration(int64(1) << i)
+	}
+	var seen int64
+	last := 0 // highest populated bucket, the clamp when rank is unreachable
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n > 0 {
+			last = i
+		}
+		seen += n
+		if seen >= rank {
+			return bound(i)
+		}
+	}
+	// An in-flight Observe incremented count but not yet its bucket, so
+	// the buckets sum short of rank; clamp to the highest seen latency
+	// rather than reporting a 292-year phantom.
+	return bound(last)
+}
+
+// histSummary is the JSON shape latencies take in /debug/vars.
+type histSummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+func (h *latencyHist) summary() histSummary {
+	s := histSummary{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanUs = float64(h.sum.Load()) / float64(s.Count) / 1e3
+	}
+	s.P50Us = float64(h.Quantile(0.50)) / 1e3
+	s.P90Us = float64(h.Quantile(0.90)) / 1e3
+	s.P99Us = float64(h.Quantile(0.99)) / 1e3
+	return s
+}

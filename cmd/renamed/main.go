@@ -29,6 +29,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -36,10 +37,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	renaming "repro"
@@ -62,6 +66,7 @@ func run(args []string, out io.Writer) error {
 		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
 		sweep    = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
 		seed     = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
+		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight requests (server mode)")
 
 		load     = fs.Bool("load", false, "run as load generator instead of server")
 		target   = fs.String("target", "http://localhost:8077", "server base URL (load mode)")
@@ -93,10 +98,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer mgr.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "renamed: serving %s (capacity %d, namespace %d, ttl %v) on %s\n",
-		*algo, *capacity, nm.Namespace(), *ttl, *addr)
+		*algo, *capacity, nm.Namespace(), *ttl, ln.Addr())
 	srv := &http.Server{
-		Addr:    *addr,
 		Handler: newServer(mgr),
 		// Slow-client bounds: a peer that stalls mid-headers or idles
 		// forever must not pin goroutines and file descriptors while
@@ -106,7 +114,60 @@ func run(args []string, out io.Writer) error {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+	// in-flight requests, then close the manager so every live lease is
+	// handed back to the namer instead of orphaned until its TTL.
+	// One channel, two receives: the first SIGINT/SIGTERM starts the
+	// graceful drain, the second force-quits a hung drain instead of
+	// being swallowed for the whole -drain window. The buffer of 2 keeps
+	// a rapid double Ctrl-C from dropping the second signal, and a single
+	// ordered channel avoids the race a separate late-registered
+	// force-quit channel would have (signal.Stop alone does not restore
+	// the default disposition — the runtime keeps its handler installed —
+	// so the second-signal path must exit explicitly).
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-sigs // first signal: begin the graceful drain
+		cancel()
+		<-sigs // second signal: force quit
+		fmt.Fprintln(os.Stderr, "renamed: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+	return serveGraceful(ctx, srv, ln, mgr, *drain, out)
+}
+
+// serveGraceful runs srv on ln until ctx is cancelled (a shutdown signal
+// in production), drains in-flight requests for up to drain, forces any
+// stragglers closed, and finally closes mgr.
+func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *lease.Manager, drain time.Duration, out io.Writer) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own; nothing left to drain.
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "renamed: shutdown signal, draining for up to %v\n", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// Drain window elapsed with requests still in flight: cut them.
+		srv.Close()
+	}
+	<-serveErr  // srv.Serve has returned http.ErrServerClosed
+	mgr.Close() // always nil: namer release failures go to Metrics.ReclaimFailed
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "renamed: shutdown complete")
+	return nil
 }
 
 // buildNamer constructs the requested namer; every algorithm in the
@@ -141,14 +202,19 @@ type server struct {
 	// request counters, exported through expvar-style /debug/vars.
 	requests atomic.Int64
 	errors   atomic.Int64
+
+	// per-operation latency histograms, exported as renamed_latency.
+	lat struct {
+		acquire, renew, release latencyHist
+	}
 }
 
 // newServer wires the routes and metrics for one manager.
 func newServer(mgr *lease.Manager) *server {
 	s := &server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("POST /v1/acquire", s.handleAcquire)
-	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
-	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/acquire", timed(&s.lat.acquire, s.handleAcquire))
+	s.mux.HandleFunc("POST /v1/renew", timed(&s.lat.renew, s.handleRenew))
+	s.mux.HandleFunc("POST /v1/release", timed(&s.lat.release, s.handleRelease))
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -162,6 +228,15 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// timed records a handler's wall-clock latency into h.
+func timed(h *latencyHist, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		h.Observe(time.Since(start))
+	}
+}
+
 // varsHandler serves the expvar JSON format with the service's own gauges
 // under a private map, avoiding the process-global expvar registry so
 // multiple servers (tests) can coexist.
@@ -171,6 +246,13 @@ func (s *server) varsHandler() http.Handler {
 	vars.Set("renamed_errors", expvar.Func(func() any { return s.errors.Load() }))
 	vars.Set("renamed_uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	vars.Set("renamed_lease", expvar.Func(func() any { return s.mgr.Metrics() }))
+	vars.Set("renamed_latency", expvar.Func(func() any {
+		return map[string]histSummary{
+			"acquire": s.lat.acquire.summary(),
+			"renew":   s.lat.renew.summary(),
+			"release": s.lat.release.summary(),
+		}
+	}))
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{%q: %s}\n", "renamed", vars.String())
@@ -323,21 +405,37 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// loadReport aggregates a load-generator run.
+// latSummary is one operation's client-observed latency in a load report.
+type latSummary struct {
+	P50, P99 time.Duration
+}
+
+// loadReport aggregates a load-generator run. Duration is the configured
+// run length; Elapsed is the measured wall time, which runs past Duration
+// because workers finish their in-flight acquire→renew→release cycle
+// after the deadline. Throughput is computed over Elapsed — dividing by
+// the configured duration overstated ops/sec by the overshoot.
 type loadReport struct {
-	Clients   int
-	Duration  time.Duration
-	Acquires  int64
-	Renews    int64
-	Releases  int64
-	Failures  int64
-	OpsPerSec float64
+	Clients    int
+	Duration   time.Duration
+	Elapsed    time.Duration
+	Acquires   int64
+	Renews     int64
+	Releases   int64
+	Failures   int64
+	OpsPerSec  float64
+	AcquireLat latSummary
+	RenewLat   latSummary
+	ReleaseLat latSummary
 }
 
 func (r loadReport) print(out io.Writer) {
-	fmt.Fprintf(out, "load: %d clients for %v\n", r.Clients, r.Duration)
+	fmt.Fprintf(out, "load: %d clients, configured %v, ran %v\n", r.Clients, r.Duration, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  acquires  %d\n  renews    %d\n  releases  %d\n  failures  %d\n",
 		r.Acquires, r.Renews, r.Releases, r.Failures)
+	fmt.Fprintf(out, "  latency (p50/p99) acquire %v/%v, renew %v/%v, release %v/%v\n",
+		r.AcquireLat.P50, r.AcquireLat.P99, r.RenewLat.P50, r.RenewLat.P99,
+		r.ReleaseLat.P50, r.ReleaseLat.P99)
 	fmt.Fprintf(out, "  throughput %.0f ops/sec\n", r.OpsPerSec)
 }
 
@@ -353,7 +451,9 @@ func runLoad(target string, clients, renewsPerLease int, duration time.Duration)
 	resp.Body.Close()
 
 	var acquires, renews, releases, failures atomic.Int64
-	deadline := time.Now().Add(duration)
+	var acquireLat, renewLat, releaseLat latencyHist
+	start := time.Now()
+	deadline := start.Add(duration)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -361,27 +461,38 @@ func runLoad(target string, clients, renewsPerLease int, duration time.Duration)
 			defer wg.Done()
 			client := &http.Client{Timeout: 5 * time.Second}
 			owner := fmt.Sprintf("loadgen-%d", id)
+			timedPost := func(h *latencyHist, url string, body, out any) bool {
+				t0 := time.Now()
+				ok := post(client, url, body, out)
+				if ok {
+					// Failures are counted separately; recording them
+					// here would let client-timeout constants (5s)
+					// masquerade as the op's p99.
+					h.Observe(time.Since(t0))
+				}
+				return ok
+			}
 			for time.Now().Before(deadline) {
 				var l leaseJSON
 				// If the server granted the lease but the response failed
 				// mid-read, the name stays leased until its TTL lapses; we
 				// can't release what we couldn't parse, so it's counted as
 				// a failure and left to the server's sweeper.
-				if !post(client, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
+				if !timedPost(&acquireLat, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
 					failures.Add(1)
 					continue
 				}
 				acquires.Add(1)
 				ok := true
 				for r := 0; r < renewsPerLease && ok; r++ {
-					if post(client, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
+					if timedPost(&renewLat, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
 						renews.Add(1)
 					} else {
 						failures.Add(1)
 						ok = false
 					}
 				}
-				if post(client, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
+				if timedPost(&releaseLat, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
 					releases.Add(1)
 				} else {
 					failures.Add(1)
@@ -390,15 +501,26 @@ func runLoad(target string, clients, renewsPerLease int, duration time.Duration)
 		}(c)
 	}
 	wg.Wait()
+	// Workers keep finishing their in-flight cycle past the deadline;
+	// throughput over the configured duration would count those ops
+	// against a window they didn't run in.
+	elapsed := time.Since(start)
 	total := acquires.Load() + renews.Load() + releases.Load()
+	quantiles := func(h *latencyHist) latSummary {
+		return latSummary{P50: h.Quantile(0.50), P99: h.Quantile(0.99)}
+	}
 	return loadReport{
-		Clients:   clients,
-		Duration:  duration,
-		Acquires:  acquires.Load(),
-		Renews:    renews.Load(),
-		Releases:  releases.Load(),
-		Failures:  failures.Load(),
-		OpsPerSec: float64(total) / duration.Seconds(),
+		Clients:    clients,
+		Duration:   duration,
+		Elapsed:    elapsed,
+		Acquires:   acquires.Load(),
+		Renews:     renews.Load(),
+		Releases:   releases.Load(),
+		Failures:   failures.Load(),
+		OpsPerSec:  float64(total) / elapsed.Seconds(),
+		AcquireLat: quantiles(&acquireLat),
+		RenewLat:   quantiles(&renewLat),
+		ReleaseLat: quantiles(&releaseLat),
 	}, nil
 }
 

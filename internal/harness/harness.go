@@ -152,6 +152,7 @@ func Experiments() []Experiment {
 		{ID: "F5", Title: "Crash-failure tolerance", Run: runF5},
 		{ID: "F6", Title: "Deterministic (Moir-Anderson) vs randomized adaptive", Run: runF6},
 		{ID: "F7", Title: "Long-lived churn: LevelArray vs one-shot namers", Run: runF7},
+		{ID: "F8", Title: "Sharded lease manager throughput (shards x namer)", Run: runF8},
 	}
 }
 

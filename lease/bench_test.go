@@ -1,0 +1,274 @@
+package lease
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	renaming "repro"
+)
+
+// newBenchManager builds a manager over a LevelArray with the given shard
+// count (0 = the GOMAXPROCS default, 1 = the pre-sharding single-mutex
+// layout) and capacity headroom so the namer never rejects.
+func newBenchManager(b *testing.B, shards int) *Manager {
+	b.Helper()
+	nm, err := renaming.NewLevelArray(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(nm, Config{TTL: time.Minute, SweepInterval: -1, MaxLive: 1 << 12, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { m.Close() })
+	return m
+}
+
+func benchAcquireRelease(b *testing.B, shards int) {
+	m := newBenchManager(b, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l, err := m.Acquire("bench", 0, nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := m.Release(l.Name, l.Token); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkAcquireRelease is the acceptance benchmark for the sharded
+// manager: run with GOMAXPROCS=8 and compare singleMutex (Shards: 1, the
+// pre-sharding layout) against sharded (the default stripe count).
+// EXPERIMENTS.md F8 records the measured ratio.
+func BenchmarkAcquireRelease(b *testing.B) {
+	b.Run("singleMutex", func(b *testing.B) { benchAcquireRelease(b, 1) })
+	b.Run("sharded", func(b *testing.B) { benchAcquireRelease(b, 0) })
+}
+
+func benchRenew(b *testing.B, shards int) {
+	m := newBenchManager(b, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		l, err := m.Acquire("bench", 0, nil)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if _, err := m.Renew(l.Name, l.Token, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkRenew(b *testing.B) {
+	b.Run("singleMutex", func(b *testing.B) { benchRenew(b, 1) })
+	b.Run("sharded", func(b *testing.B) { benchRenew(b, 0) })
+}
+
+// BenchmarkSweepOnce measures an idle sweep over a fully live table: the
+// heap design makes it O(shards) peeks, independent of the live count.
+func BenchmarkSweepOnce(b *testing.B) {
+	m := newBenchManager(b, 0)
+	for i := 0; i < 1<<10; i++ {
+		if _, err := m.Acquire("bench", time.Hour, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SweepOnce()
+	}
+}
+
+// baselineManager is a faithful replica of the pre-sharding lease manager:
+// one mutex over one map, a full-table scan on every sweep, and the old
+// Acquire's unlock/grant/recheck dance. It is kept (stripped to the ops
+// the benchmarks drive) so this PR's redesign can be measured against the
+// design it replaced.
+type baselineManager struct {
+	namer renaming.Namer
+
+	mu     sync.Mutex
+	leases map[int]Lease
+	token  uint64
+
+	ttl     time.Duration
+	maxLive int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newBaselineManager(namer renaming.Namer, ttl, sweepInterval time.Duration, maxLive int) *baselineManager {
+	bm := &baselineManager{
+		namer:   namer,
+		leases:  make(map[int]Lease),
+		ttl:     ttl,
+		maxLive: maxLive,
+		done:    make(chan struct{}),
+	}
+	if sweepInterval > 0 {
+		bm.wg.Add(1)
+		go func() {
+			defer bm.wg.Done()
+			ticker := time.NewTicker(sweepInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bm.done:
+					return
+				case <-ticker.C:
+					now := time.Now()
+					bm.mu.Lock()
+					bm.sweepLocked(now)
+					bm.mu.Unlock()
+				}
+			}
+		}()
+	}
+	return bm
+}
+
+// sweepLocked is the old O(live) reclamation: every sweep scans the whole
+// table under the same mutex every operation needs.
+func (bm *baselineManager) sweepLocked(now time.Time) {
+	for name, l := range bm.leases {
+		if now.After(l.ExpiresAt) {
+			delete(bm.leases, name)
+			bm.namer.Release(name)
+		}
+	}
+}
+
+func (bm *baselineManager) Acquire(ttl time.Duration) (int, uint64, error) {
+	bm.mu.Lock()
+	if bm.maxLive > 0 && len(bm.leases) >= bm.maxLive {
+		bm.sweepLocked(time.Now())
+		if len(bm.leases) >= bm.maxLive {
+			bm.mu.Unlock()
+			return 0, 0, ErrCapacity
+		}
+	}
+	bm.mu.Unlock()
+	name, err := bm.namer.GetName()
+	if err != nil {
+		return 0, 0, err
+	}
+	expires := time.Now().Add(ttl)
+	bm.mu.Lock()
+	if bm.maxLive > 0 && len(bm.leases) >= bm.maxLive {
+		bm.mu.Unlock()
+		bm.namer.Release(name)
+		return 0, 0, ErrCapacity
+	}
+	bm.token++
+	tok := bm.token
+	bm.leases[name] = Lease{Name: name, Token: tok, ExpiresAt: expires}
+	bm.mu.Unlock()
+	return name, tok, nil
+}
+
+func (bm *baselineManager) Release(name int, token uint64) error {
+	bm.mu.Lock()
+	l, ok := bm.leases[name]
+	if !ok || l.Token != token {
+		bm.mu.Unlock()
+		return ErrUnknownName
+	}
+	delete(bm.leases, name)
+	bm.mu.Unlock()
+	return bm.namer.Release(name)
+}
+
+func (bm *baselineManager) Close() {
+	close(bm.done)
+	bm.wg.Wait()
+}
+
+// BenchmarkServiceScale is the acceptance comparison: acquire+release
+// throughput at service scale — a standing population of long-lived
+// holders with the reclamation sweeper running at the cadence a short-TTL
+// lease class dictates (the package default is TTL/4; heartbeat leases of
+// tens of milliseconds put that at single-digit milliseconds). The
+// pre-sharding baseline rescans every live lease under its one mutex on
+// every tick, so the sweep — not the namer — throttles the hot path; the
+// sharded manager's heap sweeps are O(expired) and its stripes keep ops
+// out of the sweeper's way.
+func BenchmarkServiceScale(b *testing.B) {
+	const (
+		capacity   = 1 << 21
+		pinned     = 1 << 20
+		sweepEvery = 5 * time.Millisecond
+	)
+	b.Run("singleMutexBaseline", func(b *testing.B) {
+		nm, err := renaming.NewLevelArray(capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bm := newBaselineManager(nm, time.Hour, sweepEvery, capacity)
+		defer bm.Close()
+		for i := 0; i < pinned; i++ {
+			if _, _, err := bm.Acquire(time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				name, tok, err := bm.Acquire(time.Minute)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := bm.Release(name, tok); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		nm, err := renaming.NewLevelArray(capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := New(nm, Config{TTL: time.Hour, SweepInterval: sweepEvery, MaxLive: capacity})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		for i := 0; i < pinned; i++ {
+			if _, err := m.Acquire("pin", time.Hour, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				l, err := m.Acquire("bench", time.Minute, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := m.Release(l.Name, l.Token); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,173 @@
+package lease
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	renaming "repro"
+)
+
+// TestAcquireSweepsBeforeRejecting: capacity rejection must reclaim
+// expired leases first, on every path. Fill the cap with short leases, let
+// them lapse, and acquire again without any explicit sweep.
+func TestAcquireSweepsBeforeRejecting(t *testing.T) {
+	nm, err := renaming.NewLevelArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: 10 * time.Second, SweepInterval: -1, MaxLive: 2, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := m.Acquire("w", time.Second, nil); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	clk.Advance(2 * time.Second)
+	// Both leases are expired but unreclaimed; both capacity slots must be
+	// recoverable without SweepOnce.
+	for i := 0; i < 2; i++ {
+		if _, err := m.Acquire("w", 0, nil); err != nil {
+			t.Fatalf("acquire over expired leases %d: %v", i, err)
+		}
+	}
+	if _, err := m.Acquire("w", 0, nil); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("acquire over live leases = %v, want ErrCapacity", err)
+	}
+	if mt := m.Metrics(); mt.Expired != 2 || mt.Live != 2 {
+		t.Fatalf("metrics = %+v", mt)
+	}
+}
+
+// hookClock is a fakeClock whose Now() can fire a one-shot side effect,
+// used to interleave another operation inside a specific window of an
+// in-flight Acquire (between GetName and the lease-table insert).
+type hookClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	hook func()
+}
+
+func (c *hookClock) Now() time.Time {
+	c.mu.Lock()
+	h := c.hook
+	c.hook = nil
+	c.mu.Unlock()
+	if h != nil {
+		h()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *hookClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestAcquireCapacityRaceReclaimsExpired is the regression test for the
+// pre-sharding bug: an Acquire that lost the capacity race between its
+// pre-check and its grant failed with ErrCapacity *without* reclaiming
+// expired leases, so a name that had already lapsed blocked the grant.
+//
+// The interleaving is reproduced deterministically with a clock hook: the
+// outer Acquire stamps its lease's ExpiresAt via Now() after GetName, and
+// the hook uses that window to run a full interloper Acquire and then
+// expire it. The old recheck then saw the table at MaxLive and rejected
+// the outer call even though its sole occupant was expired. Under
+// reservation semantics the outer Acquire already holds the capacity slot
+// before GetName, so it is the interloper that is turned away (after a
+// sweep found nothing reclaimable), and the outer grant must succeed.
+func TestAcquireCapacityRaceReclaimsExpired(t *testing.T) {
+	nm, err := renaming.NewLevelArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &hookClock{t: time.Unix(1000, 0)}
+	m, err := New(nm, Config{TTL: 10 * time.Second, SweepInterval: -1, MaxLive: 1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var innerErr error
+	clk.mu.Lock()
+	clk.hook = func() {
+		_, innerErr = m.Acquire("interloper", time.Second, nil)
+		clk.Advance(2 * time.Second)
+	}
+	clk.mu.Unlock()
+
+	l, err := m.Acquire("outer", 0, nil)
+	if err != nil {
+		t.Fatalf("outer Acquire = %v; capacity race rejected a grant while holding the reservation", err)
+	}
+	if !errors.Is(innerErr, ErrCapacity) {
+		t.Fatalf("interloper Acquire = %v, want ErrCapacity (slot reserved by in-flight outer)", innerErr)
+	}
+	if got, ok := m.Get(l.Name); !ok || got.Token != l.Token {
+		t.Fatalf("outer lease not live: %+v, %v", got, ok)
+	}
+	if mt := m.Metrics(); mt.Live != 1 {
+		t.Fatalf("metrics = %+v, want exactly the outer lease live", mt)
+	}
+}
+
+// TestReclaimFailedCounted: over a one-shot namer every reclamation's
+// namer.Release fails; the failures must surface in Metrics.ReclaimFailed
+// instead of being silently discarded (pre-fix, reclaimLocked and Close
+// both dropped the error on the floor).
+func TestReclaimFailedCounted(t *testing.T) {
+	nm, err := renaming.NewMoirAnderson(4) // one-shot: Release always ErrOneShot
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: time.Second, SweepInterval: -1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Sweep-path reclaim of an expired lease.
+	if _, err := m.Acquire("w", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	if n := m.SweepOnce(); n != 1 {
+		t.Fatalf("SweepOnce = %d, want 1", n)
+	}
+	if mt := m.Metrics(); mt.ReclaimFailed != 1 || mt.Expired != 1 {
+		t.Fatalf("after sweep: metrics = %+v, want ReclaimFailed 1", mt)
+	}
+
+	// Explicit Release propagates the namer error and counts it too.
+	l, err := m.Acquire("w", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(l.Name, l.Token); !errors.Is(err, renaming.ErrOneShot) {
+		t.Fatalf("Release over one-shot namer = %v, want ErrOneShot", err)
+	}
+	if mt := m.Metrics(); mt.ReclaimFailed != 2 {
+		t.Fatalf("after release: metrics = %+v, want ReclaimFailed 2", mt)
+	}
+
+	// Close drains live leases through the same accounting.
+	if _, err := m.Acquire("w", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mt := m.Metrics(); mt.ReclaimFailed != 3 {
+		t.Fatalf("after close: metrics = %+v, want ReclaimFailed 3", mt)
+	}
+}

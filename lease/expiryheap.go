@@ -1,0 +1,79 @@
+package lease
+
+import "time"
+
+// heapEntry schedules one reclamation check: "at instant `at`, the lease
+// on `name` minted with `token` is due to expire". Entries are immutable
+// once pushed; Renew pushes a fresh entry for the new deadline instead of
+// updating the old one, and stale entries are dropped lazily when popped
+// (the token no longer matches, or the lease's deadline moved past the
+// entry's). This keeps every push/pop O(log live) with no index tracking.
+type heapEntry struct {
+	at    time.Time
+	name  int
+	token uint64
+}
+
+// expiryHeap is a binary min-heap of heapEntries ordered by deadline. A
+// shard's sweep pops entries while the head is past `now`, so one sweep
+// costs O(expired · log live) instead of the O(live) full-map scan the
+// pre-sharding manager did.
+type expiryHeap []heapEntry
+
+func (h expiryHeap) less(i, j int) bool { return h[i].at.Before(h[j].at) }
+
+func (h *expiryHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the earliest entry. Callers check len > 0.
+func (h *expiryHeap) pop() heapEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// init heapifies the slice in place after a bulk rebuild.
+func (h expiryHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h expiryHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h expiryHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && h.less(left, least) {
+			least = left
+		}
+		if right < n && h.less(right, least) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}

@@ -1,0 +1,118 @@
+package lease
+
+import (
+	"testing"
+	"time"
+
+	renaming "repro"
+	"repro/internal/xrand"
+)
+
+func TestExpiryHeapOrdering(t *testing.T) {
+	rng := xrand.NewStream(1, 1)
+	base := time.Unix(1000, 0)
+	var h expiryHeap
+	const n = 500
+	for i := 0; i < n; i++ {
+		h.push(heapEntry{at: base.Add(time.Duration(rng.Intn(10_000)) * time.Millisecond), name: i})
+	}
+	prev := time.Time{}
+	for i := 0; i < n; i++ {
+		e := h.pop()
+		if e.at.Before(prev) {
+			t.Fatalf("pop %d out of order: %v before %v", i, e.at, prev)
+		}
+		prev = e.at
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}
+
+func TestExpiryHeapInit(t *testing.T) {
+	base := time.Unix(1000, 0)
+	h := expiryHeap{
+		{at: base.Add(5 * time.Second)},
+		{at: base.Add(1 * time.Second)},
+		{at: base.Add(4 * time.Second)},
+		{at: base.Add(2 * time.Second)},
+		{at: base.Add(3 * time.Second)},
+	}
+	h.init()
+	for want := 1; want <= 5; want++ {
+		if got := h.pop().at; !got.Equal(base.Add(time.Duration(want) * time.Second)) {
+			t.Fatalf("pop = %v, want +%ds", got, want)
+		}
+	}
+}
+
+// TestHeapCompactionBoundsMemory: with the sweeper disabled, renewals push
+// one lazy entry each; compaction must keep the heap O(live) instead of
+// letting it grow with the renewal count.
+func TestHeapCompactionBoundsMemory(t *testing.T) {
+	nm, err := renaming.NewLevelArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: time.Hour, SweepInterval: -1, Shards: 1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	l, err := m.Acquire("w", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := m.Renew(l.Name, l.Token, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := m.shard(l.Name)
+	sh.mu.Lock()
+	heapLen, live := len(sh.expiries), len(sh.leases)
+	sh.mu.Unlock()
+	if heapLen >= 2*live+compactMinHeap {
+		t.Fatalf("heap grew to %d entries over %d live leases; compaction never ran", heapLen, live)
+	}
+	// The surviving entries still reclaim correctly.
+	clk.Advance(2 * time.Hour)
+	if n := m.SweepOnce(); n != 1 {
+		t.Fatalf("SweepOnce after compaction = %d, want 1", n)
+	}
+}
+
+// TestHeapCompactionOnLazyReclaim: with the sweeper disabled, reclamation
+// can happen exclusively through lazy paths (here Get on an expired
+// lease), each of which strands one stale heap entry; reclaimLocked's
+// compaction check must keep the heap bounded anyway.
+func TestHeapCompactionOnLazyReclaim(t *testing.T) {
+	nm, err := renaming.NewLevelArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: time.Second, SweepInterval: -1, Shards: 1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 5000; i++ {
+		l, err := m.Acquire("w", 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(2 * time.Second)
+		if _, ok := m.Get(l.Name); ok {
+			t.Fatal("expired lease still live")
+		}
+	}
+	sh := &m.shards[0]
+	sh.mu.Lock()
+	heapLen, live := len(sh.expiries), len(sh.leases)
+	sh.mu.Unlock()
+	if heapLen >= 2*live+compactMinHeap {
+		t.Fatalf("heap grew to %d entries over %d live leases under lazy reclaim", heapLen, live)
+	}
+}

@@ -12,6 +12,14 @@
 // to detect: a stale holder's Renew or Release fails with ErrWrongToken
 // because the token was minted for a lease that no longer exists.
 //
+// Internally the manager is sharded (the lock-striping idiom of Alistarh,
+// Kopinsky, Matveev and Shavit's LevelArray paper, ICDCS 2014): the lease
+// table is split into nextPow2(GOMAXPROCS) stripes, each with its own
+// mutex and expiry min-heap, and names route to stripes by low bits. The
+// MaxLive capacity check is a lock-free atomic reservation, and sweeps pop
+// per-shard heaps — O(expired) — instead of scanning every live lease. So
+// bookkeeping scales with cores and the namer stays the hot path.
+//
 // The package layers on any Namer; pair it with renaming.NewLevelArray to
 // get constant expected probes under sustained lease churn.
 package lease
@@ -19,6 +27,7 @@ package lease
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,7 +50,9 @@ var (
 	ErrClosed = errors.New("lease: manager closed")
 	// ErrCapacity is returned by Acquire when MaxLive leases are already
 	// held. Distinct from namespace exhaustion: the namer still has slots,
-	// but granting more would void its probe guarantees.
+	// but granting more would void its probe guarantees. Acquire reclaims
+	// expired leases before giving up, so ErrCapacity means the capacity
+	// is genuinely full of live holders (or of in-flight acquisitions).
 	ErrCapacity = errors.New("lease: live-lease capacity reached")
 )
 
@@ -91,6 +102,11 @@ type Config struct {
 	// fails with ErrCapacity instead of degrading). 0 means uncapped —
 	// the namer's namespace is the only limit.
 	MaxLive int
+	// Shards overrides the number of lock stripes the lease table is
+	// split into. 0 means nextPow2(GOMAXPROCS); other values are rounded
+	// up to a power of two. Mostly a benchmarking knob: Shards: 1
+	// reproduces the pre-sharding single-mutex manager.
+	Shards int
 	// Now is the clock; defaults to time.Now. Injectable for tests.
 	Now func() time.Time
 }
@@ -105,6 +121,10 @@ func (c *Config) applyDefaults() {
 	if c.SweepInterval == 0 {
 		c.SweepInterval = c.TTL / 4
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	c.Shards = nextPow2(c.Shards)
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -117,7 +137,12 @@ type Metrics struct {
 	Released int64 // explicit releases
 	Expired  int64 // leases reclaimed after TTL lapse
 	Rejected int64 // operations refused (exhausted, wrong token, expired, unknown)
-	Live     int   // unexpired leases currently held
+	// ReclaimFailed counts names the manager tried to hand back and the
+	// namer refused (namer.Release errored). Over a one-shot namer such
+	// as MoirAnderson every reclaim fails with ErrOneShot and the slot is
+	// lost for good; a nonzero value here is the only trace of that leak.
+	ReclaimFailed int64
+	Live          int // unexpired leases currently held
 }
 
 // Manager grants, renews, expires and reclaims leases over a Namer.
@@ -126,17 +151,29 @@ type Manager struct {
 	namer renaming.Namer
 	cfg   Config
 
-	mu     sync.Mutex
-	leases map[int]Lease
-	closed bool
+	// shards is the striped lease table; len(shards) is a power of two
+	// and name & mask routes a name to its stripe.
+	shards []shard
+	mask   int
+
+	closed atomic.Bool
+
+	// live counts held names plus in-flight Acquire reservations.
+	// Acquire reserves capacity here *before* probing the namer, so
+	// MaxLive is enforced without any lock — and without the
+	// grant-then-recheck race the single-mutex design had, where an
+	// Acquire could fail with ErrCapacity while expired leases sat
+	// unreclaimed.
+	live atomic.Int64
 
 	token atomic.Uint64
 
-	acquired atomic.Int64
-	renewed  atomic.Int64
-	released atomic.Int64
-	expired  atomic.Int64
-	rejected atomic.Int64
+	acquired      atomic.Int64
+	renewed       atomic.Int64
+	released      atomic.Int64
+	expired       atomic.Int64
+	rejected      atomic.Int64
+	reclaimFailed atomic.Int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -152,8 +189,12 @@ func New(namer renaming.Namer, cfg Config) (*Manager, error) {
 	m := &Manager{
 		namer:  namer,
 		cfg:    cfg,
-		leases: make(map[int]Lease),
+		shards: make([]shard, cfg.Shards),
+		mask:   cfg.Shards - 1,
 		done:   make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i].leases = make(map[int]Lease)
 	}
 	if cfg.SweepInterval > 0 {
 		m.wg.Add(1)
@@ -176,6 +217,9 @@ func (m *Manager) sweepLoop() {
 	}
 }
 
+// shard returns the stripe name routes to.
+func (m *Manager) shard(name int) *shard { return &m.shards[name&m.mask] }
+
 // clampTTL resolves a caller-requested duration against the config.
 func (m *Manager) clampTTL(ttl time.Duration) time.Duration {
 	if ttl <= 0 {
@@ -187,32 +231,42 @@ func (m *Manager) clampTTL(ttl time.Duration) time.Duration {
 	return ttl
 }
 
+// reserve claims one unit of MaxLive capacity before the namer is probed.
+// Over the cap it reclaims expired leases (the eager sweep the pre-shard
+// design ran under its lock) and retries; ErrCapacity is returned only
+// after a sweep found nothing to reclaim, so an Acquire can no longer be
+// rejected while expired leases sit unreclaimed.
+func (m *Manager) reserve() error {
+	for {
+		n := m.live.Add(1)
+		if m.cfg.MaxLive <= 0 || n <= int64(m.cfg.MaxLive) {
+			return nil
+		}
+		m.live.Add(-1)
+		if m.sweepAll(m.cfg.Now()) == 0 {
+			return ErrCapacity
+		}
+	}
+}
+
 // Acquire grants a lease on a fresh name for owner. ttl <= 0 means the
 // configured default; larger requests are capped at MaxTTL. meta is copied.
 // When the namer cannot assign a name the error wraps
 // renaming.ErrNamespaceExhausted.
 func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return Lease{}, ErrClosed
 	}
-	if m.cfg.MaxLive > 0 && len(m.leases) >= m.cfg.MaxLive {
-		// Under capacity pressure, reclaim expired leases eagerly rather
-		// than waiting for the sweeper's next tick.
-		m.sweepLocked(m.cfg.Now())
-		if len(m.leases) >= m.cfg.MaxLive {
-			m.mu.Unlock()
-			m.rejected.Add(1)
-			return Lease{}, ErrCapacity
-		}
+	if err := m.reserve(); err != nil {
+		m.rejected.Add(1)
+		return Lease{}, err
 	}
-	m.mu.Unlock()
 
-	// GetName is lock-free on the TAS array; keep it outside the manager
-	// lock so acquisitions scale with the namer, not the bookkeeping.
+	// GetName is lock-free on the TAS array; the capacity slot is already
+	// reserved, so acquisitions scale with the namer, not the bookkeeping.
 	name, err := m.namer.GetName()
 	if err != nil {
+		m.live.Add(-1)
 		m.rejected.Add(1)
 		return Lease{}, fmt.Errorf("lease: acquire: %w", err)
 	}
@@ -224,21 +278,18 @@ func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]strin
 		Meta:      meta,
 	}.clone()
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	if m.closed.Load() {
 		// Raced with Close: hand the name straight back.
-		m.namer.Release(name)
+		sh.mu.Unlock()
+		m.live.Add(-1)
+		m.releaseName(name)
 		return Lease{}, ErrClosed
 	}
-	if m.cfg.MaxLive > 0 && len(m.leases) >= m.cfg.MaxLive {
-		// Lost the capacity race to a concurrent Acquire between the
-		// check and the grant: roll the name back.
-		m.namer.Release(name)
-		m.rejected.Add(1)
-		return Lease{}, ErrCapacity
-	}
-	m.leases[name] = l
+	sh.leases[name] = l
+	sh.expiries.push(heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
+	sh.mu.Unlock()
 	m.acquired.Add(1)
 	return l.clone(), nil
 }
@@ -247,12 +298,19 @@ func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]strin
 // the configured default). A renewal that arrives after expiry fails with
 // ErrExpired and reclaims the name immediately.
 func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return Lease{}, ErrClosed
 	}
-	l, ok := m.leases[name]
+	sh := m.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Re-check under the shard lock: a renewal racing Close must not
+	// succeed after Close has started, or the caller would hold a
+	// "renewed" lease on a name the drain is about to hand back.
+	if m.closed.Load() {
+		return Lease{}, ErrClosed
+	}
+	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
 		return Lease{}, ErrUnknownName
@@ -263,12 +321,14 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 	}
 	now := m.cfg.Now()
 	if now.After(l.ExpiresAt) {
-		m.reclaimLocked(name)
+		m.reclaimLocked(sh, name)
 		m.rejected.Add(1)
 		return Lease{}, ErrExpired
 	}
 	l.ExpiresAt = now.Add(m.clampTTL(ttl))
-	m.leases[name] = l
+	sh.leases[name] = l
+	sh.expiries.push(heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
+	sh.maybeCompact()
 	m.renewed.Add(1)
 	return l.clone(), nil
 }
@@ -278,12 +338,16 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 // ErrExpired — the holder already lost the name — and reclaims it
 // immediately, so the outcome does not depend on sweeper timing.
 func (m *Manager) Release(name int, token uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return ErrClosed
 	}
-	l, ok := m.leases[name]
+	sh := m.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
 		return ErrUnknownName
@@ -293,42 +357,51 @@ func (m *Manager) Release(name int, token uint64) error {
 		return ErrWrongToken
 	}
 	if m.cfg.Now().After(l.ExpiresAt) {
-		m.reclaimLocked(name)
+		m.reclaimLocked(sh, name)
 		m.rejected.Add(1)
 		return ErrExpired
 	}
-	delete(m.leases, name)
+	delete(sh.leases, name)
+	sh.maybeCompact()
+	m.live.Add(-1)
 	m.released.Add(1)
-	return m.namer.Release(name)
+	return m.releaseName(name)
 }
 
 // Get returns the live lease for name, reclaiming it first if it already
 // expired (in which case ok is false).
 func (m *Manager) Get(name int) (l Lease, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	l, ok = m.leases[name]
+	sh := m.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l, ok = sh.leases[name]
 	if !ok {
 		return Lease{}, false
 	}
 	if m.cfg.Now().After(l.ExpiresAt) {
-		m.reclaimLocked(name)
+		m.reclaimLocked(sh, name)
 		return Lease{}, false
 	}
 	return l.clone(), true
 }
 
-// Leases snapshots all live (unexpired) leases, ordered by name.
+// Leases snapshots all live (unexpired) leases, ordered by name. The
+// snapshot is per-shard consistent, not global: shards are locked one at
+// a time, so a holder releasing one name and acquiring another while the
+// snapshot runs can appear under both or neither.
 func (m *Manager) Leases() []Lease {
 	now := m.cfg.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Lease, 0, len(m.leases))
-	for _, l := range m.leases {
-		if now.After(l.ExpiresAt) {
-			continue
+	var out []Lease
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, l := range sh.leases {
+			if now.After(l.ExpiresAt) {
+				continue
+			}
+			out = append(out, l.clone())
 		}
-		out = append(out, l.clone())
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -336,54 +409,55 @@ func (m *Manager) Leases() []Lease {
 
 // SweepOnce reclaims every expired lease now and reports how many it
 // reclaimed. The background sweeper calls this on every tick; tests call
-// it directly for deterministic reclamation.
+// it directly for deterministic reclamation. One sweep is O(expired) per
+// shard — it pops each shard's expiry heap until the head is unexpired —
+// rather than a scan of every live lease.
 func (m *Manager) SweepOnce() int {
-	now := m.cfg.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sweepLocked(now)
+	return m.sweepAll(m.cfg.Now())
 }
 
-// sweepLocked reclaims expired leases. Callers hold m.mu.
-func (m *Manager) sweepLocked(now time.Time) int {
+// sweepAll sweeps every shard, locking each in turn (never two at once).
+func (m *Manager) sweepAll(now time.Time) int {
 	reclaimed := 0
-	for name, l := range m.leases {
-		if now.After(l.ExpiresAt) {
-			m.reclaimLocked(name)
-			reclaimed++
-		}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		reclaimed += m.sweepLocked(sh, now)
+		sh.mu.Unlock()
 	}
 	return reclaimed
 }
 
-// reclaimLocked drops name's lease and returns the name to the pool.
-// Callers hold m.mu.
-func (m *Manager) reclaimLocked(name int) {
-	delete(m.leases, name)
-	m.expired.Add(1)
-	m.namer.Release(name)
-}
-
 // Metrics returns a snapshot of the operation counters. Live excludes
 // leases that have expired but not yet been reclaimed, matching Leases(),
-// so dashboards don't show phantom holders when the sweeper is off.
+// so dashboards don't show phantom holders when the sweeper is off. Like
+// Leases, the count is per-shard consistent only: under concurrent churn
+// it can transiently read above MaxLive (a holder's old and new names
+// both counted), so don't alert on Live <= capacity as a hard invariant.
+// Computing Live is an O(live/shards) scan per stripe — one stripe locked
+// at a time, never the whole table — so poll /debug/vars at monitoring
+// cadence, not in a tight loop.
 func (m *Manager) Metrics() Metrics {
 	now := m.cfg.Now()
-	m.mu.Lock()
 	live := 0
-	for _, l := range m.leases {
-		if !now.After(l.ExpiresAt) {
-			live++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, l := range sh.leases {
+			if !now.After(l.ExpiresAt) {
+				live++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	return Metrics{
-		Acquired: m.acquired.Load(),
-		Renewed:  m.renewed.Load(),
-		Released: m.released.Load(),
-		Expired:  m.expired.Load(),
-		Rejected: m.rejected.Load(),
-		Live:     live,
+		Acquired:      m.acquired.Load(),
+		Renewed:       m.renewed.Load(),
+		Released:      m.released.Load(),
+		Expired:       m.expired.Load(),
+		Rejected:      m.rejected.Load(),
+		ReclaimFailed: m.reclaimFailed.Load(),
+		Live:          live,
 	}
 }
 
@@ -391,19 +465,23 @@ func (m *Manager) Metrics() Metrics {
 func (m *Manager) Namespace() int { return m.namer.Namespace() }
 
 // Close stops the sweeper, releases every live lease back to the namer and
-// rejects all further operations. Close is idempotent.
+// rejects all further operations. Close is idempotent. Releases the namer
+// refuses are counted in Metrics.ReclaimFailed.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	m.closed = true
-	for name := range m.leases {
-		delete(m.leases, name)
-		m.namer.Release(name)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for name := range sh.leases {
+			delete(sh.leases, name)
+			m.live.Add(-1)
+			m.releaseName(name)
+		}
+		sh.expiries = nil
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	close(m.done)
 	m.wg.Wait()
 	return nil

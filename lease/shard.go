@@ -1,0 +1,96 @@
+package lease
+
+import (
+	"sync"
+	"time"
+)
+
+// compactMinHeap is the slack below which a shard never bothers rebuilding
+// its expiry heap: lazy deletion is allowed to keep up to 2·live+this many
+// entries before a compaction pass reclaims the memory.
+const compactMinHeap = 64
+
+// shard is one lock stripe of the manager's lease table. Names route to
+// shards by name & (len(shards)-1), so every operation on a given name
+// serializes on exactly one shard mutex while operations on other names
+// proceed in parallel. The struct is padded to a cache line so adjacent
+// shards' mutexes don't false-share under contention.
+type shard struct {
+	mu     sync.Mutex
+	leases map[int]Lease
+	// expiries is a lazy min-heap over the shard's lease deadlines; see
+	// heapEntry for the staleness protocol.
+	expiries expiryHeap
+
+	_ [24]byte // pad to 64 bytes: mutex(8) + map(8) + slice header(24)
+}
+
+// sweepLocked reclaims the shard's expired leases by popping the expiry
+// heap until the head is in the future — O(expired) work, not O(live).
+// Callers hold sh.mu.
+func (m *Manager) sweepLocked(sh *shard, now time.Time) int {
+	reclaimed := 0
+	for len(sh.expiries) > 0 && now.After(sh.expiries[0].at) {
+		e := sh.expiries.pop()
+		l, ok := sh.leases[e.name]
+		if !ok || l.Token != e.token {
+			continue // stale: released or re-acquired since this entry was pushed
+		}
+		if !now.After(l.ExpiresAt) {
+			continue // renewed: a fresher entry carries the new deadline
+		}
+		m.reclaimLocked(sh, e.name)
+		reclaimed++
+	}
+	return reclaimed
+}
+
+// reclaimLocked drops name's lease, returns the name to the namer's pool
+// and settles the counters. Callers hold sh.mu and name routes to sh.
+// The compaction check keeps the heap bounded even when reclamation only
+// ever happens lazily (sweeper off, leases expiring under Get/Renew/
+// Release) — each lazy reclaim strands one stale heap entry.
+func (m *Manager) reclaimLocked(sh *shard, name int) {
+	delete(sh.leases, name)
+	m.live.Add(-1)
+	m.expired.Add(1)
+	m.releaseName(name)
+	sh.maybeCompact()
+}
+
+// maybeCompact rebuilds the shard's expiry heap from its live leases when
+// lazy deletion has let stale entries (from renewals and releases)
+// outnumber live ones. The 2·live+compactMinHeap threshold makes the
+// rebuild amortized O(1) per push while bounding heap memory at O(live)
+// even with the background sweeper disabled. Callers hold sh.mu.
+func (sh *shard) maybeCompact() {
+	if len(sh.expiries) < 2*len(sh.leases)+compactMinHeap {
+		return
+	}
+	sh.expiries = sh.expiries[:0]
+	for name, l := range sh.leases {
+		sh.expiries = append(sh.expiries, heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
+	}
+	sh.expiries.init()
+}
+
+// releaseName hands a name back to the namer, counting failures: over a
+// one-shot namer (whose Release always errors) the slot would otherwise
+// leak invisibly on every reclaim.
+func (m *Manager) releaseName(name int) error {
+	err := m.namer.Release(name)
+	if err != nil {
+		m.reclaimFailed.Add(1)
+	}
+	return err
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 1), so shard
+// routing can be a mask instead of a modulo.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
