@@ -1,6 +1,10 @@
 package renaming
 
-import "repro/internal/baseline"
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+)
 
 // Uniform is the classical uniform-random-probing namer: repeated uniform
 // probes into the whole namespace until one wins. Θ(log n) probes for the
@@ -16,9 +20,15 @@ func NewUniform(n int, opts ...Option) (*Uniform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := o.checkApplicable("uniform", optEpsilon); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, badConfig("uniform", "n", fmt.Sprint(n), "need n >= 1")
+	}
 	alg, err := baseline.NewUniform(n, o.epsilon, 0)
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("uniform", err)
 	}
 	return &Uniform{namer: newNamer(alg, o)}, nil
 }
@@ -36,9 +46,15 @@ func NewLinearScan(n int, opts ...Option) (*LinearScan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := o.checkApplicable("linearscan"); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, badConfig("linearscan", "n", fmt.Sprint(n), "need n >= 1")
+	}
 	alg, err := baseline.NewLinearScan(n)
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("linearscan", err)
 	}
 	return &LinearScan{namer: newNamer(alg, o)}, nil
 }

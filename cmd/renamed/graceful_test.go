@@ -149,7 +149,7 @@ func TestLatencyHistQuantiles(t *testing.T) {
 func TestLoadReportUsesMeasuredElapsed(t *testing.T) {
 	srv := newTestServer(t, 256, lease.Config{TTL: time.Minute, SweepInterval: -1})
 	const configured = 100 * time.Millisecond
-	rep, err := runLoad(srv.URL, 4, 1, configured)
+	rep, err := runLoad(srv.URL, 4, 1, 1, configured)
 	if err != nil {
 		t.Fatal(err)
 	}

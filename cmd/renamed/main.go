@@ -12,19 +12,35 @@
 //
 //	renamed -addr :8077 -capacity 4096 -algo levelarray -ttl 30s
 //
+// The namer can also be configured as a DSN through the renaming package's
+// driver registry, which exposes every algorithm tunable as a string:
+//
+//	renamed -addr :8077 -namer 'levelarray?n=4096&probes=3'
+//	renamed -addr :8077 -namer 'rebatching?n=1024&eps=0.5&t0=6'
+//	renamed -addr :8077 -namer 'fastadaptive?n=65536&seed=7'
+//
 // Endpoints (JSON over POST unless noted):
 //
-//	POST /v1/acquire  {"owner":"w1","ttl_ms":5000,"meta":{...}}
-//	                  -> {"name":17,"token":42,"expires_at_ms":...}
-//	POST /v1/renew    {"name":17,"token":42,"ttl_ms":5000}
-//	POST /v1/release  {"name":17,"token":42}
-//	GET  /v1/leases   -> {"leases":[...]}
-//	GET  /healthz     -> ok
-//	GET  /debug/vars  -> expvar counters (renamed_* metrics)
+//	POST /v1/acquire        {"owner":"w1","ttl_ms":5000,"meta":{...}}
+//	                        -> {"name":17,"token":42,"expires_at_ms":...}
+//	POST /v1/acquire_batch  {"owner":"w1","count":8,"ttl_ms":5000,"meta":{...}}
+//	                        -> {"leases":[{"name":17,"token":42,...},...]}
+//	POST /v1/renew          {"name":17,"token":42,"ttl_ms":5000}
+//	POST /v1/release        {"name":17,"token":42}
+//	GET  /v1/leases         -> {"leases":[...]}
+//	GET  /healthz           -> ok
+//	GET  /debug/vars        -> expvar counters (renamed_* metrics)
 //
-// Load-generator mode hammers a running server and reports throughput:
+// Acquisitions are tied to the request context: a client that disconnects
+// mid-acquire cancels the probe sequence instead of holding a name nobody
+// will ever renew. Batch acquisition is all-or-nothing — count leases or
+// an error with nothing held.
+//
+// Load-generator mode hammers a running server and reports throughput;
+// -batch k switches its acquisition phase to /v1/acquire_batch:
 //
 //	renamed -load -target http://localhost:8077 -clients 32 -duration 5s
+//	renamed -load -target http://localhost:8077 -clients 32 -batch 8
 package main
 
 import (
@@ -63,6 +79,7 @@ func run(args []string, out io.Writer) error {
 		addr     = fs.String("addr", ":8077", "listen address (server mode)")
 		capacity = fs.Int("capacity", 4096, "maximum concurrently leased names (hard cap, enforced; also sizes the namer)")
 		algo     = fs.String("algo", "levelarray", "namer algorithm: levelarray, rebatching, adaptive, fastadaptive, uniform")
+		namerDSN = fs.String("namer", "", "namer DSN, e.g. 'levelarray?n=4096&probes=3' or 'rebatching?n=1024&eps=0.5&t0=6'; overrides -algo/-capacity/-seed (see renaming.Open)")
 		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
 		sweep    = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
 		seed     = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
@@ -73,12 +90,30 @@ func run(args []string, out io.Writer) error {
 		clients  = fs.Int("clients", 16, "concurrent clients (load mode)")
 		duration = fs.Duration("duration", 5*time.Second, "how long to generate load (load mode)")
 		renews   = fs.Int("renews", 2, "renewals per lease before release (load mode)")
+		batch    = fs.Int("batch", 1, "names acquired per cycle; > 1 uses the /v1/acquire_batch endpoint (load mode)")
 	)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintf(out, "Usage: renamed [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(out, `
+Namer DSNs (-namer) follow the renaming.Open grammar, driver?key=value&...:
+
+  levelarray?n=4096&gamma=1&probes=2     long-lived, O(1) probes under churn
+  rebatching?n=1024&eps=0.5&t0=6         one-shot, log log n probes
+  adaptive?n=65536&t0=6                  names scale with actual contention
+  fastadaptive?n=65536                   O(k log log k) total work
+  uniform?n=1024&eps=1                   classical baseline
+  linearscan?n=1024                      deterministic baseline
+
+All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *load {
-		rep, err := runLoad(*target, *clients, *renews, *duration)
+		rep, err := runLoad(*target, *clients, *renews, *batch, *duration)
 		if err != nil {
 			return err
 		}
@@ -86,14 +121,20 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	nm, err := buildNamer(*algo, *capacity, *seed)
+	capacitySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "capacity" {
+			capacitySet = true
+		}
+	})
+	nm, maxLive, desc, err := buildServerNamer(*namerDSN, *algo, *capacity, capacitySet, *seed)
 	if err != nil {
 		return err
 	}
 	// MaxLive pins the service to the namer's analyzed capacity: beyond it
 	// the probe guarantees lapse, so over-capacity acquires get 503 instead
 	// of silently degrading toward the backup scan.
-	mgr, err := lease.New(nm, lease.Config{TTL: *ttl, SweepInterval: *sweep, MaxLive: *capacity})
+	mgr, err := lease.New(nm, lease.Config{TTL: *ttl, SweepInterval: *sweep, MaxLive: maxLive})
 	if err != nil {
 		return err
 	}
@@ -102,8 +143,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "renamed: serving %s (capacity %d, namespace %d, ttl %v) on %s\n",
-		*algo, *capacity, nm.Namespace(), *ttl, ln.Addr())
+	fmt.Fprintf(out, "renamed: serving %s (max live %d, namespace %d, ttl %v) on %s\n",
+		desc, maxLive, nm.Namespace(), *ttl, ln.Addr())
 	srv := &http.Server{
 		Handler: newServer(mgr),
 		// Slow-client bounds: a peer that stalls mid-headers or idles
@@ -170,27 +211,40 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 	return nil
 }
 
-// buildNamer constructs the requested namer; every algorithm in the
-// benchmark matrix is selectable so operators can compare them in situ.
+// buildNamer constructs the requested namer through the renaming driver
+// registry; every registered algorithm is selectable so operators can
+// compare them in situ.
 func buildNamer(algo string, capacity int, seed uint64) (renaming.Namer, error) {
-	var opts []renaming.Option
+	dsn := fmt.Sprintf("%s?n=%d", algo, capacity)
 	if seed != 0 {
-		opts = append(opts, renaming.WithSeed(seed))
+		dsn += fmt.Sprintf("&seed=%d", seed)
 	}
-	switch algo {
-	case "levelarray":
-		return renaming.NewLevelArray(capacity, opts...)
-	case "rebatching":
-		return renaming.NewReBatching(capacity, opts...)
-	case "adaptive":
-		return renaming.NewAdaptive(capacity, opts...)
-	case "fastadaptive":
-		return renaming.NewFastAdaptive(capacity, opts...)
-	case "uniform":
-		return renaming.NewUniform(capacity, opts...)
+	return renaming.Open(dsn)
+}
+
+// buildServerNamer resolves the -namer/-algo/-capacity/-seed flags into a
+// namer plus the MaxLive cap the lease manager should enforce. A DSN takes
+// precedence; its capacity cap comes from an explicit -capacity flag, else
+// from the namer's own analyzed capacity (LongLivedNamer), else 0
+// (uncapped — the namespace is the only limit).
+func buildServerNamer(dsn, algo string, capacity int, capacitySet bool, seed uint64) (nm renaming.Namer, maxLive int, desc string, err error) {
+	if dsn == "" {
+		nm, err = buildNamer(algo, capacity, seed)
+		return nm, capacity, algo, err
+	}
+	nm, err = renaming.Open(dsn)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	switch {
+	case capacitySet:
+		maxLive = capacity
 	default:
-		return nil, fmt.Errorf("unknown -algo %q", algo)
+		if ll, ok := nm.(renaming.LongLivedNamer); ok {
+			maxLive = ll.Capacity()
+		}
 	}
+	return nm, maxLive, dsn, nil
 }
 
 // server is the HTTP front end over a lease.Manager.
@@ -205,7 +259,7 @@ type server struct {
 
 	// per-operation latency histograms, exported as renamed_latency.
 	lat struct {
-		acquire, renew, release latencyHist
+		acquire, acquireBatch, renew, release latencyHist
 	}
 }
 
@@ -213,6 +267,7 @@ type server struct {
 func newServer(mgr *lease.Manager) *server {
 	s := &server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/acquire", timed(&s.lat.acquire, s.handleAcquire))
+	s.mux.HandleFunc("POST /v1/acquire_batch", timed(&s.lat.acquireBatch, s.handleAcquireBatch))
 	s.mux.HandleFunc("POST /v1/renew", timed(&s.lat.renew, s.handleRenew))
 	s.mux.HandleFunc("POST /v1/release", timed(&s.lat.release, s.handleRelease))
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
@@ -248,9 +303,10 @@ func (s *server) varsHandler() http.Handler {
 	vars.Set("renamed_lease", expvar.Func(func() any { return s.mgr.Metrics() }))
 	vars.Set("renamed_latency", expvar.Func(func() any {
 		return map[string]histSummary{
-			"acquire": s.lat.acquire.summary(),
-			"renew":   s.lat.renew.summary(),
-			"release": s.lat.release.summary(),
+			"acquire":       s.lat.acquire.summary(),
+			"acquire_batch": s.lat.acquireBatch.summary(),
+			"renew":         s.lat.renew.summary(),
+			"release":       s.lat.release.summary(),
 		}
 	}))
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -265,6 +321,17 @@ type acquireRequest struct {
 	Owner string            `json:"owner"`
 	TTLms int64             `json:"ttl_ms,omitempty"`
 	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+type acquireBatchRequest struct {
+	Owner string            `json:"owner"`
+	Count int               `json:"count"`
+	TTLms int64             `json:"ttl_ms,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+type leasesJSON struct {
+	Leases []leaseJSON `json:"leases"`
 }
 
 type renewRequest struct {
@@ -320,12 +387,32 @@ func (s *server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	l, err := s.mgr.Acquire(req.Owner, ttlFromMs(req.TTLms), req.Meta)
+	// The request context ties the probe sequence to the client: a peer
+	// that disconnects mid-acquire cancels instead of leaving behind a
+	// lease nobody will renew.
+	l, err := s.mgr.AcquireCtx(r.Context(), req.Owner, ttlFromMs(req.TTLms), req.Meta)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, toJSON(l))
+}
+
+func (s *server) handleAcquireBatch(w http.ResponseWriter, r *http.Request) {
+	var req acquireBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ls, err := s.mgr.AcquireBatch(r.Context(), req.Owner, req.Count, ttlFromMs(req.TTLms), req.Meta)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := leasesJSON{Leases: make([]leaseJSON, len(ls))}
+	for i, l := range ls {
+		out.Leases[i] = toJSON(l)
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -355,9 +442,7 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
 	ls := s.mgr.Leases()
-	out := struct {
-		Leases []leaseJSON `json:"leases"`
-	}{Leases: make([]leaseJSON, len(ls))}
+	out := leasesJSON{Leases: make([]leaseJSON, len(ls))}
 	for i, l := range ls {
 		entry := toJSON(l)
 		// Fencing tokens are capabilities: only the holder (who got the
@@ -380,13 +465,19 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 
 // writeError maps lease/namer errors onto HTTP status codes:
 // exhaustion is 503 (retryable), stale tokens are 409, expiry is 410,
-// unknown names are 404.
+// unknown names are 404, bad batch parameters are 400, and an acquisition
+// the client itself abandoned is 408 (the response is usually unread —
+// the status mostly serves the error counter and access logs).
 func (s *server) writeError(w http.ResponseWriter, err error) {
 	s.errors.Add(1)
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, renaming.ErrNamespaceExhausted), errors.Is(err, lease.ErrCapacity):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, renaming.ErrCancelled):
+		status = http.StatusRequestTimeout
+	case errors.Is(err, renaming.ErrBadConfig):
+		status = http.StatusBadRequest
 	case errors.Is(err, lease.ErrWrongToken):
 		status = http.StatusConflict
 	case errors.Is(err, lease.ErrExpired):
@@ -417,6 +508,7 @@ type latSummary struct {
 // the configured duration overstated ops/sec by the overshoot.
 type loadReport struct {
 	Clients    int
+	Batch      int // names acquired per cycle; > 1 uses /v1/acquire_batch
 	Duration   time.Duration
 	Elapsed    time.Duration
 	Acquires   int64
@@ -430,7 +522,8 @@ type loadReport struct {
 }
 
 func (r loadReport) print(out io.Writer) {
-	fmt.Fprintf(out, "load: %d clients, configured %v, ran %v\n", r.Clients, r.Duration, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "load: %d clients, batch %d, configured %v, ran %v\n",
+		r.Clients, r.Batch, r.Duration, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  acquires  %d\n  renews    %d\n  releases  %d\n  failures  %d\n",
 		r.Acquires, r.Renews, r.Releases, r.Failures)
 	fmt.Fprintf(out, "  latency (p50/p99) acquire %v/%v, renew %v/%v, release %v/%v\n",
@@ -440,8 +533,13 @@ func (r loadReport) print(out io.Writer) {
 }
 
 // runLoad drives acquire -> renews -> release cycles against target from
-// `clients` goroutines for the given duration.
-func runLoad(target string, clients, renewsPerLease int, duration time.Duration) (loadReport, error) {
+// `clients` goroutines for the given duration. batch > 1 acquires through
+// /v1/acquire_batch (batch leases per cycle, each renewed and released
+// individually), measuring what batching saves on the acquisition path.
+func runLoad(target string, clients, renewsPerLease, batch int, duration time.Duration) (loadReport, error) {
+	if batch < 1 {
+		batch = 1
+	}
 	// Fail fast if the server is unreachable, rather than reporting a run
 	// with nothing but failures.
 	resp, err := http.Get(target + "/healthz")
@@ -473,29 +571,44 @@ func runLoad(target string, clients, renewsPerLease int, duration time.Duration)
 				return ok
 			}
 			for time.Now().Before(deadline) {
-				var l leaseJSON
-				// If the server granted the lease but the response failed
-				// mid-read, the name stays leased until its TTL lapses; we
-				// can't release what we couldn't parse, so it's counted as
-				// a failure and left to the server's sweeper.
-				if !timedPost(&acquireLat, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
-					failures.Add(1)
-					continue
+				// If the server granted leases but the response failed
+				// mid-read, the names stay leased until their TTL lapses;
+				// we can't release what we couldn't parse, so it's counted
+				// as a failure and left to the server's sweeper.
+				var cycle []leaseJSON
+				if batch > 1 {
+					var granted leasesJSON
+					if !timedPost(&acquireLat, target+"/v1/acquire_batch",
+						acquireBatchRequest{Owner: owner, Count: batch}, &granted) {
+						failures.Add(1)
+						continue
+					}
+					acquires.Add(int64(len(granted.Leases)))
+					cycle = granted.Leases
+				} else {
+					var l leaseJSON
+					if !timedPost(&acquireLat, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
+						failures.Add(1)
+						continue
+					}
+					acquires.Add(1)
+					cycle = []leaseJSON{l}
 				}
-				acquires.Add(1)
-				ok := true
-				for r := 0; r < renewsPerLease && ok; r++ {
-					if timedPost(&renewLat, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
-						renews.Add(1)
+				for _, l := range cycle {
+					ok := true
+					for r := 0; r < renewsPerLease && ok; r++ {
+						if timedPost(&renewLat, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
+							renews.Add(1)
+						} else {
+							failures.Add(1)
+							ok = false
+						}
+					}
+					if timedPost(&releaseLat, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
+						releases.Add(1)
 					} else {
 						failures.Add(1)
-						ok = false
 					}
-				}
-				if timedPost(&releaseLat, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
-					releases.Add(1)
-				} else {
-					failures.Add(1)
 				}
 			}
 		}(c)
@@ -511,6 +624,7 @@ func runLoad(target string, clients, renewsPerLease int, duration time.Duration)
 	}
 	return loadReport{
 		Clients:    clients,
+		Batch:      batch,
 		Duration:   duration,
 		Elapsed:    elapsed,
 		Acquires:   acquires.Load(),

@@ -257,7 +257,7 @@ func TestHealthAndVars(t *testing.T) {
 // a short run must complete cycles without a single failure.
 func TestLoadGenerator(t *testing.T) {
 	srv := newTestServer(t, 256, lease.Config{TTL: time.Minute, SweepInterval: -1})
-	rep, err := runLoad(srv.URL, 8, 2, 300*time.Millisecond)
+	rep, err := runLoad(srv.URL, 8, 2, 1, 300*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestLoadGenerator(t *testing.T) {
 }
 
 func TestLoadTargetUnreachable(t *testing.T) {
-	if _, err := runLoad("http://127.0.0.1:1", 1, 0, time.Millisecond); err == nil {
+	if _, err := runLoad("http://127.0.0.1:1", 1, 0, 1, time.Millisecond); err == nil {
 		t.Fatal("runLoad against a dead target did not error")
 	}
 }
@@ -296,5 +296,123 @@ func TestBuildNamer(t *testing.T) {
 	}
 	if _, err := buildNamer("nope", 16, 0); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestAcquireBatchEndpoint round-trips the batch-acquire endpoint: count
+// distinct leases granted in one request, each individually releasable.
+func TestAcquireBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{
+		Owner: "batcher", Count: 8, Meta: map[string]string{"job": "j1"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch acquire status = %d, body %s", resp.StatusCode, body)
+	}
+	var granted leasesJSON
+	if err := json.Unmarshal(body, &granted); err != nil {
+		t.Fatal(err)
+	}
+	if len(granted.Leases) != 8 {
+		t.Fatalf("granted %d leases, want 8", len(granted.Leases))
+	}
+	seen := map[int]bool{}
+	for _, l := range granted.Leases {
+		if seen[l.Name] {
+			t.Fatalf("duplicate name %d in batch response", l.Name)
+		}
+		seen[l.Name] = true
+		if l.Owner != "batcher" || l.Meta["job"] != "j1" || l.Token == 0 {
+			t.Fatalf("batch lease incomplete: %+v", l)
+		}
+	}
+	for _, l := range granted.Leases {
+		resp, body := postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("release batch lease %d = %d, body %s", l.Name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestAcquireBatchEndpointErrors covers the batch-specific error mapping:
+// count <= 0 is 400, count beyond capacity is 503 with nothing granted.
+func TestAcquireBatchEndpointErrors(t *testing.T) {
+	srv := newTestServer(t, 4, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	resp, _ := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("count=0 batch = %d, want 400", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 5})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity batch = %d, want 503", resp.StatusCode)
+	}
+
+	// All-or-nothing: the failed batch granted nothing, so a full-capacity
+	// batch still fits.
+	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-capacity batch after failed batch = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestLoadGeneratorBatchMode drives the load generator's batch mode
+// against a test server: cycles go through /v1/acquire_batch and must
+// stay failure-free and balanced.
+func TestLoadGeneratorBatchMode(t *testing.T) {
+	srv := newTestServer(t, 256, lease.Config{TTL: time.Minute, SweepInterval: -1})
+	rep, err := runLoad(srv.URL, 4, 1, 8, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("batch load run had %d failures: %+v", rep.Failures, rep)
+	}
+	if rep.Acquires == 0 || rep.Acquires%8 != 0 {
+		t.Fatalf("batch acquires = %d, want a positive multiple of 8", rep.Acquires)
+	}
+	if rep.Releases != rep.Acquires || rep.Renews != rep.Acquires {
+		t.Fatalf("unbalanced batch load run: %+v", rep)
+	}
+}
+
+// TestBuildServerNamer covers the -namer DSN path and its MaxLive
+// derivation rules.
+func TestBuildServerNamer(t *testing.T) {
+	// DSN over a long-lived namer: MaxLive defaults to its capacity.
+	nm, maxLive, desc, err := buildServerNamer("levelarray?n=128", "ignored", 4096, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLive != 128 || desc != "levelarray?n=128" {
+		t.Fatalf("maxLive = %d desc = %q, want 128 and the DSN", maxLive, desc)
+	}
+	if nm.Namespace() < 128 {
+		t.Fatalf("namespace %d < capacity", nm.Namespace())
+	}
+
+	// Explicit -capacity wins over the namer's own capacity.
+	_, maxLive, _, err = buildServerNamer("levelarray?n=128", "ignored", 32, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLive != 32 {
+		t.Fatalf("maxLive = %d, want explicit 32", maxLive)
+	}
+
+	// One-shot namers have no analyzed capacity: uncapped unless -capacity.
+	_, maxLive, _, err = buildServerNamer("rebatching?n=64&t0=6", "ignored", 4096, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLive != 0 {
+		t.Fatalf("maxLive = %d for one-shot DSN, want 0 (uncapped)", maxLive)
+	}
+
+	// A bad DSN fails loudly.
+	if _, _, _, err := buildServerNamer("levelarray?n=128&eps=2", "ignored", 0, false, 0); err == nil {
+		t.Fatal("DSN with inapplicable eps accepted")
 	}
 }

@@ -6,10 +6,17 @@
 // goroutine owns a distinct integer below Namespace() = (1+ε)·64, obtained
 // in O(log log n) test-and-set probes.
 //
+// The example uses the v2 acquisition surface end to end: the namer is
+// constructed from a DSN through the driver registry (renaming.Open), the
+// goroutines acquire through the context-aware Acquire, and a final batch
+// acquisition (AcquireN) grabs a block of names in one call. The legacy
+// GetName() wrapper still works — see examples/connpool for it.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,21 +37,23 @@ func main() {
 func run() error {
 	const participants = 64
 
-	namer, err := renaming.NewReBatching(participants,
-		renaming.WithT0Override(6), // practical constant; see EXPERIMENTS.md F2
-	)
+	// The DSN selects the algorithm and its tunables as a string — the
+	// same surface cmd/renamed exposes as -namer. t0=6 is the practical
+	// batch-0 constant; see EXPERIMENTS.md F2.
+	namer, err := renaming.Open(fmt.Sprintf("rebatching?n=%d&t0=6", participants))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("renaming %d goroutines into [0, %d)\n\n", participants, namer.Namespace())
 
+	ctx := context.Background()
 	names := make([]int, participants)
 	var wg sync.WaitGroup
 	for g := 0; g < participants; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			u, err := namer.GetName()
+			u, err := namer.Acquire(ctx)
 			if err != nil {
 				// Impossible here: capacity covers all participants.
 				panic(err)
@@ -67,5 +76,20 @@ func run() error {
 		seen[u] = true
 	}
 	fmt.Printf("\nall %d names distinct, all below %d ✓\n", participants, namer.Namespace())
+
+	// Batch acquisition: hand every name back, then take a block of 16 in
+	// one AcquireN call — one PRNG stream for the whole batch, and either
+	// 16 names or an error with nothing held.
+	for _, u := range names {
+		if err := namer.Release(u); err != nil {
+			return err
+		}
+	}
+	block, err := namer.AcquireN(ctx, 16)
+	if err != nil {
+		return err
+	}
+	sort.Ints(block)
+	fmt.Printf("\nbatch of %d via AcquireN: %v\n", len(block), block)
 	return nil
 }

@@ -57,15 +57,23 @@ func MustUniform(n int, eps float64, maxProbes int) *Uniform {
 	return u
 }
 
-// GetName implements core.Algorithm.
+// GetName implements core.Algorithm. Interruptible environments are
+// polled every core.InterruptStride probes; an interrupt yields
+// core.Cancelled before the next probe.
 func (u *Uniform) GetName(env core.Env) int {
 	for i := 0; i < u.maxProbes; i++ {
+		if i%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		x := env.Intn(u.m)
 		if env.TAS(x) {
 			return x
 		}
 	}
 	for x := 0; x < u.m; x++ {
+		if x%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		if env.TAS(x) {
 			return x
 		}
@@ -100,9 +108,13 @@ func MustLinearScan(n int) *LinearScan {
 	return l
 }
 
-// GetName implements core.Algorithm.
+// GetName implements core.Algorithm. Interruptible environments are
+// polled every core.InterruptStride locations.
 func (l *LinearScan) GetName(env core.Env) int {
 	for x := 0; x < l.m; x++ {
+		if x%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		if env.TAS(x) {
 			return x
 		}
@@ -163,9 +175,14 @@ func MustSegScan(n int, eps float64, segSize int) *SegScan {
 	return s
 }
 
-// GetName implements core.Algorithm.
+// GetName implements core.Algorithm. Interruptible environments are
+// polled on segment boundaries and every core.InterruptStride locations
+// of the fallback scan.
 func (s *SegScan) GetName(env core.Env) int {
 	for round := 0; round < s.maxRounds; round++ {
+		if core.Interrupted(env) {
+			return core.Cancelled
+		}
 		seg := env.Intn(s.segments)
 		lo := seg * s.segSize
 		hi := lo + s.segSize
@@ -179,6 +196,9 @@ func (s *SegScan) GetName(env core.Env) int {
 		}
 	}
 	for x := 0; x < s.m; x++ {
+		if x%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		if env.TAS(x) {
 			return x
 		}
@@ -225,9 +245,13 @@ func MustAdaptiveUniform(probesPerLevel, maxLevel int) *AdaptiveUniform {
 }
 
 // GetName implements core.Algorithm. Level ℓ occupies locations
-// [2^(ℓ+1)-2, 2^(ℓ+2)-2).
+// [2^(ℓ+1)-2, 2^(ℓ+2)-2). Interruptible environments are polled on level
+// boundaries and every core.InterruptStride locations of the final scan.
 func (a *AdaptiveUniform) GetName(env core.Env) int {
 	for ell := 0; ell < a.maxLevel; ell++ {
+		if core.Interrupted(env) {
+			return core.Cancelled
+		}
 		base := 1<<(ell+1) - 2
 		size := 1 << (ell + 1)
 		for j := 0; j < a.probesPerLevel; j++ {
@@ -241,6 +265,9 @@ func (a *AdaptiveUniform) GetName(env core.Env) int {
 	// maxLevel chosen sensibly this is unreachable in practice.
 	base := 1<<a.maxLevel - 2
 	for x := base; x < base+(1<<a.maxLevel); x++ {
+		if (x-base)%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		if env.TAS(x) {
 			return x
 		}

@@ -171,6 +171,10 @@ func (a *Adaptive) GetName(env Env) int {
 	)
 	for ell := 0; ; ell++ {
 		u = a.object(idx).GetName(env)
+		if u == Cancelled {
+			// Interrupted while holding nothing: abandon with no slot won.
+			return Cancelled
+		}
 		if u != NoName {
 			break
 		}
@@ -188,13 +192,19 @@ func (a *Adaptive) GetName(env Env) int {
 
 	// Phase 2: binary search on R_{prev+1} .. R_idx for the smallest
 	// index still able to hand out a name. The invariant is that u is a
-	// name already acquired from R_hi.
+	// name already acquired from R_hi — so an interrupt here returns u,
+	// the name already won, never Cancelled (that would leak the slot).
 	lo, hi := prev+1, idx
 	for lo < hi {
+		if Interrupted(env) {
+			return u
+		}
 		d := (lo + hi) / 2
-		if v := a.object(d).GetName(env); v != NoName {
+		if v := a.object(d).GetName(env); v != NoName && v != Cancelled {
 			hi = d
 			u = v
+		} else if v == Cancelled {
+			return u
 		} else {
 			lo = d + 1
 		}

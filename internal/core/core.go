@@ -1,1 +1,34 @@
 package core
+
+// Cancelled is returned by renaming attempts that were abandoned because
+// the environment reported an interrupt mid-probe-sequence (see
+// Interruptible). Unlike NoName it does not mean the probe budget was
+// exhausted — the process simply stopped probing. Drivers map it to their
+// cancellation error; the lock-step simulator never produces it.
+const Cancelled = -2
+
+// Interruptible is an optional extension of Env for drivers that can
+// cancel a renaming attempt while it is running (the concurrent driver
+// threads a context through it). Algorithms poll Interrupted between probe
+// batches/levels — never inside a constant-size probe set — and return
+// Cancelled instead of starting the next batch, so an interrupt costs at
+// most one batch of extra probes and never abandons a won TAS slot:
+// either the process stops before probing (nothing held) or it already won
+// a slot (and returns it as usual, leaving release policy to the driver).
+type Interruptible interface {
+	Env
+	// Interrupted reports whether the probe sequence should be abandoned.
+	Interrupted() bool
+}
+
+// Interrupted reports whether env requests cancellation. Plain Envs (the
+// simulator, non-cancellable drivers) are never interrupted.
+func Interrupted(env Env) bool {
+	i, ok := env.(Interruptible)
+	return ok && i.Interrupted()
+}
+
+// InterruptStride is how many sequential backup-scan probes an algorithm
+// performs between Interrupted polls. Backup scans are O(namespace), so
+// they poll periodically; batch/level loops poll on every boundary.
+const InterruptStride = 256

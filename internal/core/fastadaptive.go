@@ -122,6 +122,10 @@ func (f *FastAdaptive) GetName(env Env) int {
 		seq []int
 	)
 	for ell := 0; ; ell++ {
+		if Interrupted(env) {
+			// Interrupted while holding nothing: abandon with no slot won.
+			return Cancelled
+		}
 		idx := 1 << ell
 		if capLevel > 0 && idx > capLevel {
 			idx = capLevel
@@ -136,8 +140,8 @@ func (f *FastAdaptive) GetName(env Env) int {
 			// the top object's full GetName (backup enabled). Guaranteed
 			// to succeed while contention stays within the bound.
 			u = f.top.GetName(env)
-			if u == NoName {
-				return NoName
+			if u == NoName || u == Cancelled {
+				return u
 			}
 			break
 		}
@@ -145,7 +149,12 @@ func (f *FastAdaptive) GetName(env Env) int {
 
 	// Downward sweep (lines 6-9): while the current name still belongs to
 	// the top of the active range, search the lower half for a smaller one.
+	// From here on u is a name the process has already won, so an interrupt
+	// stops the sweep and returns u — never Cancelled, which would leak it.
 	for pos := len(seq) - 1; pos >= 1 && contains(seq[pos], u); pos-- {
+		if Interrupted(env) {
+			return u
+		}
 		u = f.search(seq[pos-1], seq[pos], u, 1, env)
 	}
 	return u
@@ -154,8 +163,9 @@ func (f *FastAdaptive) GetName(env Env) int {
 // search implements Fig. 2's Search(a, b, u, t): on entry u is a name the
 // process has acquired from R_b, a < b, and R_a has been visited with batch
 // indices 0..t-1 already. It returns a name from some R_i with a <= i <= b.
+// Because u is always a held name, an interrupt returns u unchanged.
 func (f *FastAdaptive) search(a, b, u, t int, env Env) int {
-	if t > f.kappaOf(a) {
+	if t > f.kappaOf(a) || Interrupted(env) {
 		return u
 	}
 	if uPrime := f.object(a).TryGetName(env, t); uPrime != NoName {

@@ -162,9 +162,14 @@ func T0(eps float64) int {
 
 // GetName implements Fig. 1's GetName: batch probes in order, then the
 // backup scan (unless disabled). The returned name is a global location
-// index in [Base, Base+Namespace()), or NoName.
+// index in [Base, Base+Namespace()), or NoName. Interruptible environments
+// are polled on every batch boundary and every InterruptStride locations
+// of the backup scan; an interrupt yields Cancelled before the next probe.
 func (r *ReBatching) GetName(env Env) int {
 	for i := range r.batches {
+		if Interrupted(env) {
+			return Cancelled
+		}
 		if u := r.TryGetName(env, i); u != NoName {
 			return u
 		}
@@ -173,6 +178,9 @@ func (r *ReBatching) GetName(env Env) int {
 		return NoName
 	}
 	for u := 0; u < r.m; u++ {
+		if u%InterruptStride == 0 && Interrupted(env) {
+			return Cancelled
+		}
 		if env.TAS(r.cfg.Base + u) {
 			return r.cfg.Base + u
 		}

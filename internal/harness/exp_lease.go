@@ -32,23 +32,21 @@ func runF8(cfg RunConfig) (*Table, error) {
 	}
 	const workers = 8
 
+	// Namer selection goes through the driver registry (the renamed -namer
+	// DSN surface) rather than hard-coded constructors.
 	namers := []struct {
 		name string
-		mk   func(seed uint64) (renaming.Namer, error)
+		dsn  string
 	}{
-		{"levelarray", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewLevelArray(capacity, renaming.WithSeed(seed))
-		}},
-		{"uniform", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewUniform(capacity, renaming.WithSeed(seed))
-		}},
+		{"levelarray", "levelarray?n=%d&seed=%d"},
+		{"uniform", "uniform?n=%d&seed=%d"},
 	}
 	shardCounts := []int{1, 2, 4, 8}
 
 	cell := 0
 	for _, spec := range namers {
 		for _, shards := range shardCounts {
-			nm, err := spec.mk(seedAt(cfg.Seed, cell))
+			nm, err := renaming.Open(fmt.Sprintf(spec.dsn, capacity, seedAt(cfg.Seed, cell)))
 			cell++
 			if err != nil {
 				return nil, err

@@ -31,31 +31,24 @@ func runF7(cfg RunConfig) (*Table, error) {
 	}
 	const workers = 8
 
+	// Namers are selected through the driver registry — the same DSNs an
+	// operator would hand to renamed's -namer flag, so the experiment
+	// matrix and the service configuration surface can't drift apart.
 	namers := []struct {
 		name string
-		mk   func(seed uint64) (renaming.Namer, error)
+		dsn  string
 	}{
-		{"levelarray", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewLevelArray(capacity, renaming.WithCounting(), renaming.WithSeed(seed))
-		}},
-		{"rebatching(t0=6)", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewReBatching(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
-		}},
-		{"adaptive", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewAdaptive(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
-		}},
-		{"fastadaptive", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewFastAdaptive(capacity, renaming.WithCounting(), renaming.WithSeed(seed), renaming.WithT0Override(6))
-		}},
-		{"uniform", func(seed uint64) (renaming.Namer, error) {
-			return renaming.NewUniform(capacity, renaming.WithCounting(), renaming.WithSeed(seed))
-		}},
+		{"levelarray", "levelarray?n=%d&counting=1&seed=%d"},
+		{"rebatching(t0=6)", "rebatching?n=%d&counting=1&seed=%d&t0=6"},
+		{"adaptive", "adaptive?n=%d&counting=1&seed=%d&t0=6"},
+		{"fastadaptive", "fastadaptive?n=%d&counting=1&seed=%d&t0=6"},
+		{"uniform", "uniform?n=%d&counting=1&seed=%d"},
 	}
 	loads := []float64{0.25, 0.5, 0.75}
 
 	for _, spec := range namers {
 		for li, load := range loads {
-			nm, err := spec.mk(seedAt(cfg.Seed, li))
+			nm, err := renaming.Open(fmt.Sprintf(spec.dsn, capacity, seedAt(cfg.Seed, li)))
 			if err != nil {
 				return nil, err
 			}

@@ -142,9 +142,14 @@ func buildLevels(n int, gamma float64) ([]level, int) {
 // returns the first location won; if every level loses it linearly scans
 // the whole array (the long-lived analogue of ReBatching's backup phase).
 // The returned name is a global location index in [Base, Base+Size()), or
-// core.NoName.
+// core.NoName. Interruptible environments are polled on level boundaries
+// and every core.InterruptStride locations of the backup scan; an
+// interrupt yields core.Cancelled before the next probe.
 func (la *LevelArray) GetName(env core.Env) int {
 	for _, lv := range la.levels {
+		if core.Interrupted(env) {
+			return core.Cancelled
+		}
 		for j := 0; j < la.cfg.Probes; j++ {
 			x := env.Intn(lv.size)
 			if env.TAS(la.cfg.Base + lv.start + x) {
@@ -156,6 +161,9 @@ func (la *LevelArray) GetName(env core.Env) int {
 		return core.NoName
 	}
 	for u := 0; u < la.m; u++ {
+		if u%core.InterruptStride == 0 && core.Interrupted(env) {
+			return core.Cancelled
+		}
 		if env.TAS(la.cfg.Base + u) {
 			return la.cfg.Base + u
 		}

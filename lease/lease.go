@@ -20,11 +20,18 @@
 // per-shard heaps — O(expired) — instead of scanning every live lease. So
 // bookkeeping scales with cores and the namer stays the hot path.
 //
+// Acquisition comes in three forms: Acquire (non-cancellable), AcquireCtx
+// (abandons a slow acquisition when the context ends, with the capacity
+// reservation and any won TAS slot handed back) and AcquireBatch (k leases
+// through one capacity reservation, one batched namer call and one lock
+// visit per involved stripe — all-or-nothing).
+//
 // The package layers on any Namer; pair it with renaming.NewLevelArray to
 // get constant expected probes under sustained lease churn.
 package lease
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -231,18 +238,18 @@ func (m *Manager) clampTTL(ttl time.Duration) time.Duration {
 	return ttl
 }
 
-// reserve claims one unit of MaxLive capacity before the namer is probed.
+// reserve claims k units of MaxLive capacity before the namer is probed.
 // Over the cap it reclaims expired leases (the eager sweep the pre-shard
 // design ran under its lock) and retries; ErrCapacity is returned only
 // after a sweep found nothing to reclaim, so an Acquire can no longer be
 // rejected while expired leases sit unreclaimed.
-func (m *Manager) reserve() error {
+func (m *Manager) reserve(k int) error {
 	for {
-		n := m.live.Add(1)
+		n := m.live.Add(int64(k))
 		if m.cfg.MaxLive <= 0 || n <= int64(m.cfg.MaxLive) {
 			return nil
 		}
-		m.live.Add(-1)
+		m.live.Add(-int64(k))
 		if m.sweepAll(m.cfg.Now()) == 0 {
 			return ErrCapacity
 		}
@@ -252,19 +259,28 @@ func (m *Manager) reserve() error {
 // Acquire grants a lease on a fresh name for owner. ttl <= 0 means the
 // configured default; larger requests are capped at MaxTTL. meta is copied.
 // When the namer cannot assign a name the error wraps
-// renaming.ErrNamespaceExhausted.
+// renaming.ErrNamespaceExhausted. Acquire cannot be cancelled; use
+// AcquireCtx when the caller may abandon a slow acquisition.
 func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
+	return m.AcquireCtx(context.Background(), owner, ttl, meta)
+}
+
+// AcquireCtx is Acquire with cancellation: if ctx ends while the namer is
+// still probing, the acquisition aborts with an error matching
+// renaming.ErrCancelled (wrapping ctx.Err()), the capacity reservation is
+// returned, and no name or TAS slot stays held.
+func (m *Manager) AcquireCtx(ctx context.Context, owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
 	if m.closed.Load() {
 		return Lease{}, ErrClosed
 	}
-	if err := m.reserve(); err != nil {
+	if err := m.reserve(1); err != nil {
 		m.rejected.Add(1)
 		return Lease{}, err
 	}
 
-	// GetName is lock-free on the TAS array; the capacity slot is already
+	// Acquire is lock-free on the TAS array; the capacity slot is already
 	// reserved, so acquisitions scale with the namer, not the bookkeeping.
-	name, err := m.namer.GetName()
+	name, err := m.namer.Acquire(ctx)
 	if err != nil {
 		m.live.Add(-1)
 		m.rejected.Add(1)
@@ -292,6 +308,104 @@ func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]strin
 	sh.mu.Unlock()
 	m.acquired.Add(1)
 	return l.clone(), nil
+}
+
+// AcquireBatch grants k leases in one call: one capacity reservation of k
+// units, one batched namer acquisition (renaming.AcquireN, which amortizes
+// its PRNG-stream setup across the batch), and one lock-stripe visit per
+// involved stripe instead of one per lease. Either all k leases are
+// granted or none: on exhaustion, cancellation or a race with Close, every
+// name already taken is handed back and the reservation undone. Each lease
+// carries its own fencing token; ttl and meta apply to all of them.
+func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl time.Duration, meta map[string]string) ([]Lease, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lease: AcquireBatch(%d): %w", k, renaming.ErrBadConfig)
+	}
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Reject impossible batch sizes before touching any shared state: a k
+	// beyond the namespace can never complete, and a k beyond MaxLive must
+	// not transiently inflate the live counter — reserve(k) adds k before
+	// checking the cap, so without this guard one doomed oversized request
+	// would make concurrent legitimate acquires spuriously hit ErrCapacity
+	// (and k is client-controlled in cmd/renamed, so it must also never
+	// size an allocation).
+	if k > m.namer.Namespace() {
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("lease: acquire batch of %d exceeds namespace %d: %w",
+			k, m.namer.Namespace(), renaming.ErrNamespaceExhausted)
+	}
+	if m.cfg.MaxLive > 0 && k > m.cfg.MaxLive {
+		m.rejected.Add(1)
+		return nil, ErrCapacity
+	}
+	if err := m.reserve(k); err != nil {
+		m.rejected.Add(1)
+		return nil, err
+	}
+	names, err := m.namer.AcquireN(ctx, k)
+	if err != nil {
+		m.live.Add(-int64(k))
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("lease: acquire batch: %w", err)
+	}
+
+	expiresAt := m.cfg.Now().Add(m.clampTTL(ttl))
+	leases := make([]Lease, k)
+	for i, name := range names {
+		leases[i] = Lease{
+			Name:      name,
+			Token:     m.token.Add(1),
+			Owner:     owner,
+			ExpiresAt: expiresAt,
+			Meta:      meta,
+		}.clone()
+	}
+
+	// Bucket the batch by stripe so each involved stripe is locked exactly
+	// once, however many of the k names it received.
+	buckets := make(map[int][]Lease, len(m.shards))
+	order := make([]int, 0, len(m.shards))
+	for _, l := range leases {
+		idx := l.Name & m.mask
+		if _, ok := buckets[idx]; !ok {
+			order = append(order, idx)
+		}
+		buckets[idx] = append(buckets[idx], l)
+	}
+	for pos, idx := range order {
+		sh := &m.shards[idx]
+		sh.mu.Lock()
+		if m.closed.Load() {
+			// Raced with Close. Leases inserted into earlier stripes are
+			// owned by the table now — Close's drain hands their names
+			// back and returns their capacity units. Everything not yet
+			// inserted is still ours to unwind: release those names and
+			// return their share of the reservation.
+			sh.mu.Unlock()
+			remaining := 0
+			for _, ridx := range order[pos:] {
+				for _, l := range buckets[ridx] {
+					m.releaseName(l.Name)
+					remaining++
+				}
+			}
+			m.live.Add(-int64(remaining))
+			return nil, ErrClosed
+		}
+		for _, l := range buckets[idx] {
+			sh.leases[l.Name] = l
+			sh.expiries.push(heapEntry{at: l.ExpiresAt, name: l.Name, token: l.Token})
+		}
+		sh.mu.Unlock()
+	}
+	m.acquired.Add(int64(k))
+	out := make([]Lease, k)
+	for i, l := range leases {
+		out[i] = l.clone()
+	}
+	return out, nil
 }
 
 // Renew extends the lease identified by (name, token) by ttl (<= 0 means

@@ -9,7 +9,7 @@ import (
 // LevelArray is the long-lived namer of Alistarh, Kopinsky, Matveev and
 // Shavit, "The LevelArray: A Fast, Practical Long-Lived Renaming Algorithm"
 // (ICDCS 2014). Unlike the one-shot ReBatching family, its constant expected
-// probe bound holds in steady state under arbitrary Release/GetName churn,
+// probe bound holds in steady state under arbitrary Release/Acquire churn,
 // as long as at most Capacity() names are held at any instant. Create one
 // with NewLevelArray.
 type LevelArray struct {
@@ -19,23 +19,27 @@ type LevelArray struct {
 
 // NewLevelArray builds a long-lived namer with capacity n: at most n names
 // held concurrently, out of a namespace of size just under 2(1+γ)n. The
-// per-level slack γ is set with WithEpsilon (default 1) and the per-level
-// probe count with WithLevelProbes (default 2).
+// per-level slack γ is set with WithGamma (default 1) and the per-level
+// probe count with WithLevelProbes (default 2). The one-shot family's
+// WithEpsilon does not apply here and is rejected with ErrBadConfig.
 func NewLevelArray(n int, opts ...Option) (*LevelArray, error) {
 	o, err := collectOptions(opts)
 	if err != nil {
 		return nil, err
 	}
+	if err := o.checkApplicable("levelarray", optGamma, optLevelProbes); err != nil {
+		return nil, err
+	}
 	if n < 1 {
-		return nil, fmt.Errorf("renaming: NewLevelArray(%d): need capacity >= 1", n)
+		return nil, badConfig("levelarray", "n", fmt.Sprint(n), "need capacity >= 1")
 	}
 	alg, err := levelarray.New(levelarray.Config{
 		N:      n,
-		Gamma:  o.epsilon,
+		Gamma:  o.gamma,
 		Probes: o.levelProbes,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("levelarray", err)
 	}
 	return &LevelArray{namer: newNamer(alg, o), alg: alg}, nil
 }

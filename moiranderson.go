@@ -1,6 +1,7 @@
 package renaming
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/splitter"
@@ -42,6 +43,37 @@ func (m *MoirAnderson) GetName() (int, error) {
 		return 0, ErrNamespaceExhausted
 	}
 	return u, nil
+}
+
+// Acquire implements Namer. The splitter grid walk is O(k) register
+// operations with no blocking probe sequence to abandon, so cancellation
+// is honoured only at entry.
+func (m *MoirAnderson) Acquire(ctx context.Context) (int, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, cancelled(ctx)
+	}
+	return m.GetName()
+}
+
+// AcquireN implements Namer. Moir–Anderson renaming is one-shot: a grid
+// path, once walked, is consumed whether or not the caller keeps the name.
+// Cancellation is therefore checked before each walk — never mid-batch
+// with names in hand — but a batch that fails on exhaustion has still
+// consumed its partial acquisitions (there is no Release to undo them),
+// exactly as individual failed GetName calls do.
+func (m *MoirAnderson) AcquireN(ctx context.Context, k int) ([]int, error) {
+	if k < 1 {
+		return nil, badConfig("moiranderson", "AcquireN", "", "need k >= 1")
+	}
+	names := make([]int, 0, k)
+	for len(names) < k {
+		u, err := m.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, u)
+	}
+	return names, nil
 }
 
 // Namespace implements Namer.

@@ -1,0 +1,41 @@
+package namertest_test
+
+import (
+	"testing"
+
+	renaming "repro"
+	"repro/namertest"
+)
+
+// conformanceDSNs maps every registered driver to the DSN the conformance
+// suite runs it with. The t0=6 override on the ReBatching family keeps the
+// exhaustion-path subtests fast (the paper's t₀ = 53 constant multiplies
+// every probe sequence) without changing any semantics under test.
+var conformanceDSNs = map[string]string{
+	"rebatching":   "rebatching?n=48&seed=7&t0=6",
+	"adaptive":     "adaptive?n=48&seed=7&t0=6",
+	"fastadaptive": "fastadaptive?n=48&seed=7&t0=6",
+	"levelarray":   "levelarray?n=48&seed=7",
+	"uniform":      "uniform?n=48&seed=7",
+	"linearscan":   "linearscan?n=48&seed=7",
+}
+
+// TestRegisteredNamersConformance runs the shared suite against every
+// registered driver. The registry is the source of truth: a newly
+// registered namer fails this test until it gets a conformance DSN, so no
+// driver ships unexercised.
+func TestRegisteredNamersConformance(t *testing.T) {
+	for _, name := range renaming.Drivers() {
+		dsn, ok := conformanceDSNs[name]
+		if !ok {
+			t.Errorf("driver %q has no conformance DSN; add one to conformanceDSNs", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			namertest.Run(t, func() (renaming.Namer, error) {
+				return renaming.Open(dsn)
+			})
+		})
+	}
+}

@@ -21,6 +21,27 @@
 // including the practical effect of the paper's large analysis constant t₀
 // (tunable via WithT0Override).
 //
+// # Acquisition API
+//
+// Acquire(ctx) is the primary acquisition call: it honours context
+// cancellation between probe batches, so a caller abandoning a slow
+// acquisition gets ErrCancelled (wrapping ctx.Err()) and never leaks a set
+// TAS slot. AcquireN(ctx, k) acquires k distinct names as one batch over a
+// single PRNG stream, releasing everything it took if it cannot deliver
+// all k. GetName() remains as a thin non-cancellable compatibility wrapper
+// around Acquire.
+//
+// Namers can also be constructed from a DSN string through a
+// database/sql-style registry:
+//
+//	nm, err := renaming.Open("rebatching?n=1024&eps=0.5")
+//
+// See Open for the grammar and Register for adding drivers.
+//
+// Construction-time misconfiguration — an invalid option value, an option
+// that does not apply to the chosen namer, a malformed DSN — is rejected
+// with an error matching ErrBadConfig (concretely a *ConfigError).
+//
 // All namers are safe for concurrent use. Renaming is one-shot in the
 // paper's model; the Release method is an extension that returns a name to
 // the pool (uniqueness remains guaranteed, the step-complexity analysis
@@ -32,7 +53,7 @@
 package renaming
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -40,14 +61,6 @@ import (
 	"repro/internal/tas"
 	"repro/internal/xrand"
 )
-
-// ErrNamespaceExhausted is returned by GetName when a namer cannot assign a
-// name because contention exceeded the configured capacity.
-var ErrNamespaceExhausted = errors.New("renaming: namespace exhausted (contention exceeded configured capacity)")
-
-// ErrNotHeld is returned by Release when the released name is not currently
-// assigned.
-var ErrNotHeld = errors.New("renaming: name not currently held")
 
 // LongLivedNamer is a Namer whose probe-complexity guarantees survive
 // arbitrary release/re-acquire churn, as long as at most Capacity() names
@@ -64,8 +77,20 @@ type LongLivedNamer interface {
 
 // Namer assigns distinct integer names to concurrent callers.
 type Namer interface {
-	// GetName acquires a name unique among all unreleased names handed out
-	// by this Namer. It is safe to call from multiple goroutines.
+	// Acquire obtains a name unique among all unreleased names handed out
+	// by this Namer. It is safe to call from multiple goroutines. If ctx
+	// ends before a name is secured, Acquire returns an error matching
+	// both ErrCancelled and ctx.Err(), and no TAS slot stays set on the
+	// caller's behalf.
+	Acquire(ctx context.Context) (int, error)
+	// AcquireN obtains k distinct names as one batch, amortizing the
+	// per-call PRNG-stream setup over the whole batch. It returns either
+	// k names or an error with zero names retained: on exhaustion or
+	// cancellation partway through, every name already taken is released
+	// before returning. k < 1 is rejected with ErrBadConfig.
+	AcquireN(ctx context.Context, k int) ([]int, error)
+	// GetName is the non-cancellable compatibility form of Acquire,
+	// equivalent to Acquire(context.Background()).
 	GetName() (int, error)
 	// Namespace returns the exclusive upper bound on names: every name lies
 	// in [0, Namespace()).
@@ -110,21 +135,81 @@ func newNamer(alg core.Algorithm, opts options) *namer {
 
 // env builds the per-call execution environment: the shared TAS space plus
 // a fresh private PRNG stream (derived from an atomic counter, so calls
-// never contend on randomness).
-func (n *namer) env() core.Env {
+// never contend on randomness). ctx == nil builds a non-cancellable
+// environment (the GetName compatibility path).
+func (n *namer) env(ctx context.Context) *concurrentEnv {
 	return &concurrentEnv{
 		space: n.counted,
 		rng:   xrand.NewStream(n.seed, n.stream.Add(1)),
+		ctx:   ctx,
 	}
 }
 
-// GetName implements Namer.
-func (n *namer) GetName() (int, error) {
-	u := n.alg.GetName(n.env())
-	if u == core.NoName {
+// acquireOne runs one probe sequence inside env and maps the algorithm's
+// outcome onto the error taxonomy. The cancellation contract — no set TAS
+// slot left behind — has two halves: the algorithm returns core.Cancelled
+// before its next batch when the env reports an interrupt (so nothing was
+// won), and a name won in the race window around cancellation is handed
+// straight back here before ErrCancelled is returned.
+func (n *namer) acquireOne(ctx context.Context, env *concurrentEnv) (int, error) {
+	u := n.alg.GetName(env)
+	switch {
+	case u == core.Cancelled:
+		return 0, cancelled(ctx)
+	case u == core.NoName:
 		return 0, ErrNamespaceExhausted
+	case ctx != nil && ctx.Err() != nil:
+		n.mem.TryReset(u)
+		return 0, cancelled(ctx)
 	}
 	return u, nil
+}
+
+// Acquire implements Namer.
+func (n *namer) Acquire(ctx context.Context) (int, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, cancelled(ctx)
+	}
+	return n.acquireOne(ctx, n.env(ctx))
+}
+
+// AcquireN implements Namer: k distinct names over one PRNG stream, or an
+// error with every partially acquired name released. Distinctness needs no
+// bookkeeping — each name is a TAS location this batch won.
+func (n *namer) AcquireN(ctx context.Context, k int) ([]int, error) {
+	if k < 1 {
+		return nil, badConfig("", "AcquireN", fmt.Sprint(k), "need k >= 1")
+	}
+	if k > n.alg.Namespace() {
+		// A batch larger than the namespace can never complete; fail before
+		// allocating or probing anything (a caller-controlled k must not
+		// size an allocation).
+		return nil, fmt.Errorf("renaming: batch of %d exceeds namespace %d: %w",
+			k, n.alg.Namespace(), ErrNamespaceExhausted)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, cancelled(ctx)
+	}
+	// One environment — hence one stream setup — serves the whole batch.
+	env := n.env(ctx)
+	names := make([]int, 0, k)
+	for len(names) < k {
+		u, err := n.acquireOne(ctx, env)
+		if err != nil {
+			for _, v := range names {
+				n.mem.TryReset(v)
+			}
+			return nil, fmt.Errorf("renaming: batch acquired %d of %d names: %w", len(names), k, err)
+		}
+		names = append(names, u)
+	}
+	return names, nil
+}
+
+// GetName implements Namer as a thin compatibility wrapper over Acquire;
+// it cannot be cancelled.
+func (n *namer) GetName() (int, error) {
+	return n.acquireOne(nil, n.env(nil))
 }
 
 // Namespace implements Namer.
@@ -141,7 +226,10 @@ func (n *namer) Namespace() int { return n.alg.Namespace() }
 // them.
 func (n *namer) Release(name int) error {
 	if name < 0 || name >= n.alg.Namespace() {
-		return fmt.Errorf("renaming: Release(%d): name outside [0,%d)", name, n.alg.Namespace())
+		// A name outside the namespace is definitionally not held; wrapping
+		// ErrNotHeld keeps every Release error inside the taxonomy.
+		return fmt.Errorf("renaming: Release(%d): name outside [0,%d): %w",
+			name, n.alg.Namespace(), ErrNotHeld)
 	}
 	if !n.mem.TryReset(name) {
 		return ErrNotHeld
@@ -159,14 +247,22 @@ func (n *namer) Probes() (ops, wins int64, ok bool) {
 	return n.probes.Ops(), n.probes.Wins(), true
 }
 
-// concurrentEnv implements core.Env over atomic shared memory.
+// concurrentEnv implements core.Env over atomic shared memory. A non-nil
+// ctx makes it core.Interruptible: algorithms poll Interrupted between
+// probe batches and abandon the sequence once the context ends.
 type concurrentEnv struct {
 	space tas.Space
 	rng   *xrand.Rand
+	ctx   context.Context // nil: non-cancellable
 }
 
 func (e *concurrentEnv) TAS(loc int) bool { return e.space.TAS(loc) }
 func (e *concurrentEnv) Intn(n int) int   { return e.rng.Intn(n) }
+func (e *concurrentEnv) Interrupted() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+var _ core.Interruptible = (*concurrentEnv)(nil)
 
 // ReBatching is the non-adaptive namer (§4 of the paper). Create one with
 // NewReBatching.
@@ -181,6 +277,12 @@ func NewReBatching(n int, opts ...Option) (*ReBatching, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := o.checkApplicable("rebatching", optEpsilon, optBeta, optT0); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, badConfig("rebatching", "n", fmt.Sprint(n), "need n >= 1")
+	}
 	alg, err := core.NewReBatching(core.ReBatchingConfig{
 		N:          n,
 		Epsilon:    o.epsilon,
@@ -188,7 +290,7 @@ func NewReBatching(n int, opts ...Option) (*ReBatching, error) {
 		T0Override: o.t0Override,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("rebatching", err)
 	}
 	return &ReBatching{namer: newNamer(alg, o)}, nil
 }
@@ -201,14 +303,17 @@ type Adaptive struct {
 
 // NewAdaptive builds an adaptive namer supporting up to maxContention
 // concurrent participants. With k <= maxContention actual participants,
-// names are O(k) and each GetName takes O((log log k)²) probes, w.h.p.
+// names are O(k) and each acquisition takes O((log log k)²) probes, w.h.p.
 func NewAdaptive(maxContention int, opts ...Option) (*Adaptive, error) {
 	o, err := collectOptions(opts)
 	if err != nil {
 		return nil, err
 	}
+	if err := o.checkApplicable("adaptive", optEpsilon, optBeta, optT0); err != nil {
+		return nil, err
+	}
 	if maxContention < 1 {
-		return nil, fmt.Errorf("renaming: NewAdaptive(%d): need maxContention >= 1", maxContention)
+		return nil, badConfig("adaptive", "maxContention", fmt.Sprint(maxContention), "need maxContention >= 1")
 	}
 	alg, err := core.NewAdaptive(core.AdaptiveConfig{
 		Epsilon:    o.epsilon,
@@ -217,7 +322,7 @@ func NewAdaptive(maxContention int, opts ...Option) (*Adaptive, error) {
 		MaxLevel:   core.MaxLevelFor(maxContention),
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("adaptive", err)
 	}
 	return &Adaptive{namer: newNamer(alg, o)}, nil
 }
@@ -231,17 +336,21 @@ type FastAdaptive struct {
 // NewFastAdaptive builds an adaptive namer with O(k log log k) total work
 // for k participants, supporting up to maxContention concurrent callers.
 // The paper fixes this algorithm's namespace slack at ε = 1, so WithEpsilon
-// is rejected.
+// is rejected unless it restates ε = 1.
 func NewFastAdaptive(maxContention int, opts ...Option) (*FastAdaptive, error) {
 	o, err := collectOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	if o.epsilonSet && o.epsilon != 1 {
-		return nil, errors.New("renaming: NewFastAdaptive: the paper fixes epsilon = 1 for this algorithm")
+	if err := o.checkApplicable("fastadaptive", optEpsilon, optBeta, optT0); err != nil {
+		return nil, err
+	}
+	if o.set[optEpsilon] && o.epsilon != 1 {
+		return nil, badConfig("fastadaptive", optEpsilon, fmt.Sprint(o.epsilon),
+			"the paper fixes epsilon = 1 for this algorithm")
 	}
 	if maxContention < 1 {
-		return nil, fmt.Errorf("renaming: NewFastAdaptive(%d): need maxContention >= 1", maxContention)
+		return nil, badConfig("fastadaptive", "maxContention", fmt.Sprint(maxContention), "need maxContention >= 1")
 	}
 	alg, err := core.NewFastAdaptive(core.FastAdaptiveConfig{
 		Beta:       o.beta,
@@ -249,9 +358,15 @@ func NewFastAdaptive(maxContention int, opts ...Option) (*FastAdaptive, error) {
 		MaxLevel:   core.MaxLevelFor(maxContention),
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapConfig("fastadaptive", err)
 	}
 	return &FastAdaptive{namer: newNamer(alg, o)}, nil
+}
+
+// wrapConfig converts an algorithm-layer construction error into the
+// package's ErrBadConfig taxonomy while preserving its message.
+func wrapConfig(namerName string, err error) error {
+	return &ConfigError{Namer: namerName, Reason: err.Error()}
 }
 
 var (
