@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/wire"
 	"repro/lease"
 )
 
@@ -51,11 +52,11 @@ func TestServeGracefulShutdown(t *testing.T) {
 	go func() { done <- serveGraceful(ctx, srv, ln, mgr, 2*time.Second, &out) }()
 
 	// Prove the server is up and holding a lease before the shutdown.
-	resp, body := postJSON(t, base+"/v1/acquire", acquireRequest{Owner: "w"})
+	resp, body := postJSON(t, base+"/v1/acquire", wire.AcquireRequest{Owner: "w"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pre-shutdown acquire = %d, body %s", resp.StatusCode, body)
 	}
-	var l leaseJSON
+	var l wire.Lease
 	if err := json.Unmarshal(body, &l); err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,11 @@
 //	POST /v1/acquire_batch  {"owner":"w1","count":8,"ttl_ms":5000,"meta":{...}}
 //	                        -> {"leases":[{"name":17,"token":42,...},...]}
 //	POST /v1/renew          {"name":17,"token":42,"ttl_ms":5000}
+//	POST /v1/renew_batch    {"ttl_ms":5000,"items":[{"name":17,"token":42},...]}
+//	                        -> {"results":[{"lease":{...}},{"error":"...","code":"expired"},...]}
 //	POST /v1/release        {"name":17,"token":42}
+//	POST /v1/release_batch  {"items":[{"name":17,"token":42},...]}
+//	                        -> {"results":[{},{"error":"...","code":"unknown_name"},...]}
 //	GET  /v1/leases         -> {"leases":[...]}
 //	GET  /healthz           -> ok
 //	GET  /debug/vars        -> expvar counters (renamed_* metrics)
@@ -34,13 +38,20 @@
 // Acquisitions are tied to the request context: a client that disconnects
 // mid-acquire cancels the probe sequence instead of holding a name nobody
 // will ever renew. Batch acquisition is all-or-nothing — count leases or
-// an error with nothing held.
+// an error with nothing held. Batch renew/release are the opposite, per
+// item: heartbeating sessions must learn exactly which leases they lost,
+// so results are index-aligned with the request and carry typed codes
+// (the leaseclient package wraps all of this in a Session).
 //
 // Load-generator mode hammers a running server and reports throughput;
-// -batch k switches its acquisition phase to /v1/acquire_batch:
+// -batch k switches its acquisition phase to /v1/acquire_batch, and
+// -sessions n switches to a standing population of n heartbeating
+// holders driven through leaseclient sessions (with -churn c churning
+// acquire/release clients alongside):
 //
 //	renamed -load -target http://localhost:8077 -clients 32 -duration 5s
 //	renamed -load -target http://localhost:8077 -clients 32 -batch 8
+//	renamed -load -target http://localhost:8077 -sessions 10000 -lease-ttl 3s
 package main
 
 import (
@@ -52,7 +63,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"os"
@@ -63,7 +73,9 @@ import (
 	"time"
 
 	renaming "repro"
+	"repro/internal/wire"
 	"repro/lease"
+	"repro/leaseclient"
 )
 
 func main() {
@@ -91,6 +103,10 @@ func run(args []string, out io.Writer) error {
 		duration = fs.Duration("duration", 5*time.Second, "how long to generate load (load mode)")
 		renews   = fs.Int("renews", 2, "renewals per lease before release (load mode)")
 		batch    = fs.Int("batch", 1, "names acquired per cycle; > 1 uses the /v1/acquire_batch endpoint (load mode)")
+
+		sessionsN = fs.Int("sessions", 0, "standing heartbeating holders kept alive through leaseclient sessions; > 0 replaces the classic acquire/renew/release cycle (load mode)")
+		churn     = fs.Int("churn", 0, "churning acquire/release clients running alongside the -sessions holders (load mode)")
+		leaseTTL  = fs.Duration("lease-ttl", 3*time.Second, "requested lease TTL for -sessions holders; heartbeats run at a third of it (load mode)")
 	)
 	fs.SetOutput(out)
 	fs.Usage = func() {
@@ -113,6 +129,14 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 		return err
 	}
 	if *load {
+		if *sessionsN > 0 {
+			rep, err := runSessionLoad(*target, *sessionsN, *clients, *churn, *leaseTTL, *duration)
+			if err != nil {
+				return err
+			}
+			rep.print(out)
+			return nil
+		}
 		rep, err := runLoad(*target, *clients, *renews, *batch, *duration)
 		if err != nil {
 			return err
@@ -259,7 +283,7 @@ type server struct {
 
 	// per-operation latency histograms, exported as renamed_latency.
 	lat struct {
-		acquire, acquireBatch, renew, release latencyHist
+		acquire, acquireBatch, renew, renewBatch, release, releaseBatch latencyHist
 	}
 }
 
@@ -269,7 +293,9 @@ func newServer(mgr *lease.Manager) *server {
 	s.mux.HandleFunc("POST /v1/acquire", timed(&s.lat.acquire, s.handleAcquire))
 	s.mux.HandleFunc("POST /v1/acquire_batch", timed(&s.lat.acquireBatch, s.handleAcquireBatch))
 	s.mux.HandleFunc("POST /v1/renew", timed(&s.lat.renew, s.handleRenew))
+	s.mux.HandleFunc("POST /v1/renew_batch", timed(&s.lat.renewBatch, s.handleRenewBatch))
 	s.mux.HandleFunc("POST /v1/release", timed(&s.lat.release, s.handleRelease))
+	s.mux.HandleFunc("POST /v1/release_batch", timed(&s.lat.releaseBatch, s.handleReleaseBatch))
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -306,7 +332,9 @@ func (s *server) varsHandler() http.Handler {
 			"acquire":       s.lat.acquire.summary(),
 			"acquire_batch": s.lat.acquireBatch.summary(),
 			"renew":         s.lat.renew.summary(),
+			"renew_batch":   s.lat.renewBatch.summary(),
 			"release":       s.lat.release.summary(),
+			"release_batch": s.lat.releaseBatch.summary(),
 		}
 	}))
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -315,121 +343,92 @@ func (s *server) varsHandler() http.Handler {
 	})
 }
 
-// Wire types. Durations travel as integer milliseconds, instants as Unix
-// milliseconds, so clients need no time-format parsing.
-type acquireRequest struct {
-	Owner string            `json:"owner"`
-	TTLms int64             `json:"ttl_ms,omitempty"`
-	Meta  map[string]string `json:"meta,omitempty"`
-}
-
-type acquireBatchRequest struct {
-	Owner string            `json:"owner"`
-	Count int               `json:"count"`
-	TTLms int64             `json:"ttl_ms,omitempty"`
-	Meta  map[string]string `json:"meta,omitempty"`
-}
-
-type leasesJSON struct {
-	Leases []leaseJSON `json:"leases"`
-}
-
-type renewRequest struct {
-	Name  int    `json:"name"`
-	Token uint64 `json:"token"`
-	TTLms int64  `json:"ttl_ms,omitempty"`
-}
-
-type releaseRequest struct {
-	Name  int    `json:"name"`
-	Token uint64 `json:"token"`
-}
-
-type leaseJSON struct {
-	Name        int               `json:"name"`
-	Token       uint64            `json:"token,omitempty"`
-	Owner       string            `json:"owner,omitempty"`
-	ExpiresAtMs int64             `json:"expires_at_ms"`
-	Meta        map[string]string `json:"meta,omitempty"`
-}
-
-func toJSON(l lease.Lease) leaseJSON {
-	return leaseJSON{
-		Name:        l.Name,
-		Token:       l.Token,
-		Owner:       l.Owner,
-		ExpiresAtMs: l.ExpiresAt.UnixMilli(),
-		Meta:        l.Meta,
-	}
-}
-
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-// ttlFromMs converts a client-supplied millisecond count to a Duration
-// without overflowing: a wrapped multiplication would turn "longest
-// possible lease" into a negative value the manager reads as "default
-// TTL". Saturated requests still get capped at the manager's MaxTTL.
-func ttlFromMs(ms int64) time.Duration {
-	if ms <= 0 {
-		return 0 // manager applies its default TTL
-	}
-	const maxMs = int64(math.MaxInt64) / int64(time.Millisecond)
-	if ms > maxMs {
-		return time.Duration(math.MaxInt64)
-	}
-	return time.Duration(ms) * time.Millisecond
-}
+// The JSON wire types live in internal/wire, shared with the leaseclient
+// session layer so server and client cannot drift.
 
 func (s *server) handleAcquire(w http.ResponseWriter, r *http.Request) {
-	var req acquireRequest
+	var req wire.AcquireRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	// The request context ties the probe sequence to the client: a peer
 	// that disconnects mid-acquire cancels instead of leaving behind a
 	// lease nobody will renew.
-	l, err := s.mgr.AcquireCtx(r.Context(), req.Owner, ttlFromMs(req.TTLms), req.Meta)
+	l, err := s.mgr.AcquireCtx(r.Context(), req.Owner, wire.TTLFromMs(req.TTLms), req.Meta)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, toJSON(l))
+	s.writeJSON(w, http.StatusOK, wire.FromLease(l))
 }
 
 func (s *server) handleAcquireBatch(w http.ResponseWriter, r *http.Request) {
-	var req acquireBatchRequest
+	var req wire.AcquireBatchRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ls, err := s.mgr.AcquireBatch(r.Context(), req.Owner, req.Count, ttlFromMs(req.TTLms), req.Meta)
+	ls, err := s.mgr.AcquireBatch(r.Context(), req.Owner, req.Count, wire.TTLFromMs(req.TTLms), req.Meta)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	out := leasesJSON{Leases: make([]leaseJSON, len(ls))}
+	out := wire.Leases{Leases: make([]wire.Lease, len(ls))}
 	for i, l := range ls {
-		out.Leases[i] = toJSON(l)
+		out.Leases[i] = wire.FromLease(l)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleRenew(w http.ResponseWriter, r *http.Request) {
-	var req renewRequest
+	var req wire.RenewRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	l, err := s.mgr.Renew(req.Name, req.Token, ttlFromMs(req.TTLms))
+	l, err := s.mgr.Renew(req.Name, req.Token, wire.TTLFromMs(req.TTLms))
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, toJSON(l))
+	s.writeJSON(w, http.StatusOK, wire.FromLease(l))
+}
+
+// handleRenewBatch is the heartbeat hot path: one request renews every
+// lease a session holds through one lock visit per involved stripe. The
+// response is per-item — 200 even when individual items failed — because
+// a session must learn exactly which leases it lost; only a request that
+// could not be processed at all (malformed body, closed manager, context
+// already done) gets a non-2xx status.
+func (s *server) handleRenewBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.RenewBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	items := make([]lease.RenewItem, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = lease.RenewItem{Name: it.Name, Token: it.Token}
+	}
+	// The request context is threaded through: a client that disconnects
+	// mid-batch stops the stripe walk instead of renewing leases for a
+	// session that is gone.
+	results, err := s.mgr.RenewBatch(r.Context(), items, wire.TTLFromMs(req.TTLms))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
+	for i := range results {
+		if rerr := results[i].Err; rerr != nil {
+			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: wire.CodeFor(rerr)}
+			continue
+		}
+		wl := wire.FromLease(results[i].Lease)
+		out.Results[i].Lease = &wl
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	var req releaseRequest
+	var req wire.ReleaseRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -440,11 +439,37 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleReleaseBatch ends many leases in one request with per-item
+// outcomes, mirroring handleRenewBatch — the shutdown path of a session
+// holding hundreds of names must not take hundreds of round trips.
+func (s *server) handleReleaseBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReleaseBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	items := make([]lease.ReleaseItem, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = lease.ReleaseItem{Name: it.Name, Token: it.Token}
+	}
+	results, err := s.mgr.ReleaseBatch(r.Context(), items)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
+	for i := range results {
+		if rerr := results[i].Err; rerr != nil {
+			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: wire.CodeFor(rerr)}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
 	ls := s.mgr.Leases()
-	out := leasesJSON{Leases: make([]leaseJSON, len(ls))}
+	out := wire.Leases{Leases: make([]wire.Lease, len(ls))}
 	for i, l := range ls {
-		entry := toJSON(l)
+		entry := wire.FromLease(l)
 		// Fencing tokens are capabilities: only the holder (who got the
 		// token from acquire) may renew or release. Publishing them on a
 		// read endpoint would let any client hijack any lease.
@@ -457,7 +482,7 @@ func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
 func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(into); err != nil {
 		s.errors.Add(1)
-		s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, wire.Error{Error: "bad request body: " + err.Error()})
 		return false
 	}
 	return true
@@ -487,7 +512,7 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, lease.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, status, errorJSON{Error: err.Error()})
+	s.writeJSON(w, status, wire.Error{Error: err.Error()})
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -575,36 +600,36 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 				// mid-read, the names stay leased until their TTL lapses;
 				// we can't release what we couldn't parse, so it's counted
 				// as a failure and left to the server's sweeper.
-				var cycle []leaseJSON
+				var cycle []wire.Lease
 				if batch > 1 {
-					var granted leasesJSON
+					var granted wire.Leases
 					if !timedPost(&acquireLat, target+"/v1/acquire_batch",
-						acquireBatchRequest{Owner: owner, Count: batch}, &granted) {
+						wire.AcquireBatchRequest{Owner: owner, Count: batch}, &granted) {
 						failures.Add(1)
 						continue
 					}
 					acquires.Add(int64(len(granted.Leases)))
 					cycle = granted.Leases
 				} else {
-					var l leaseJSON
-					if !timedPost(&acquireLat, target+"/v1/acquire", acquireRequest{Owner: owner}, &l) {
+					var l wire.Lease
+					if !timedPost(&acquireLat, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
 						failures.Add(1)
 						continue
 					}
 					acquires.Add(1)
-					cycle = []leaseJSON{l}
+					cycle = []wire.Lease{l}
 				}
 				for _, l := range cycle {
 					ok := true
 					for r := 0; r < renewsPerLease && ok; r++ {
-						if timedPost(&renewLat, target+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token}, &l) {
+						if timedPost(&renewLat, target+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token}, &l) {
 							renews.Add(1)
 						} else {
 							failures.Add(1)
 							ok = false
 						}
 					}
-					if timedPost(&releaseLat, target+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token}, nil) {
+					if timedPost(&releaseLat, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
 						releases.Add(1)
 					} else {
 						failures.Add(1)
@@ -635,6 +660,181 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 		AcquireLat: quantiles(&acquireLat),
 		RenewLat:   quantiles(&renewLat),
 		ReleaseLat: quantiles(&releaseLat),
+	}, nil
+}
+
+// sessionReport aggregates a -sessions load run: a standing population
+// of heartbeating holders (the renewal-dominated traffic shape a name
+// service actually serves) with optional churn clients alongside.
+type sessionReport struct {
+	Holders  int // heartbeating leases, spread across Sessions
+	Sessions int
+	Churners int
+	Duration time.Duration
+	Elapsed  time.Duration
+
+	Heartbeats int64 // renew_batch round trips
+	Renews     int64 // individual lease renewals across them
+	Retries    int64 // heartbeat rounds that hit transport failures
+	Lost       int64 // leases lost mid-run (must be 0 with on-time renewals)
+
+	ChurnAcquires int64
+	ChurnReleases int64
+	ChurnFailures int64
+
+	RenewLat   latSummary // per renew_batch round trip, client-observed
+	RenewsPerS float64
+}
+
+func (r sessionReport) print(out io.Writer) {
+	fmt.Fprintf(out, "session load: %d holders over %d sessions, %d churners, configured %v, ran %v\n",
+		r.Holders, r.Sessions, r.Churners, r.Duration, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  heartbeats %d (renew_batch round trips)\n  renews     %d\n  retries    %d\n  lost       %d\n",
+		r.Heartbeats, r.Renews, r.Retries, r.Lost)
+	fmt.Fprintf(out, "  churn      %d acquires, %d releases, %d failures\n",
+		r.ChurnAcquires, r.ChurnReleases, r.ChurnFailures)
+	fmt.Fprintf(out, "  renew_batch latency p50/p99 %v/%v\n", r.RenewLat.P50, r.RenewLat.P99)
+	fmt.Fprintf(out, "  renewal throughput %.0f renews/sec\n", r.RenewsPerS)
+}
+
+// runSessionLoad keeps `holders` leases alive for `duration` through
+// `clients` leaseclient sessions (each heartbeating its share in
+// coalesced renew_batch calls at a third of leaseTTL), while `churn`
+// workers cycle acquire→release alongside. Lost must come back 0: a
+// holder population whose renewals are on time never loses a lease.
+func runSessionLoad(target string, holders, clients, churn int, leaseTTL, duration time.Duration) (sessionReport, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > holders {
+		clients = holders
+	}
+	resp, err := http.Get(target + "/healthz")
+	if err != nil {
+		return sessionReport{}, fmt.Errorf("target unreachable: %w", err)
+	}
+	resp.Body.Close()
+
+	var (
+		lost     atomic.Int64
+		renewLat latencyHist
+	)
+	sessions := make([]*leaseclient.Session, 0, clients)
+	closeAll := func() {
+		var wg sync.WaitGroup
+		for _, s := range sessions {
+			wg.Add(1)
+			go func(s *leaseclient.Session) { defer wg.Done(); s.Close() }(s)
+		}
+		wg.Wait()
+	}
+	for c := 0; c < clients; c++ {
+		s, err := leaseclient.NewSession(leaseclient.Config{
+			Target: target,
+			Owner:  fmt.Sprintf("sessgen-%d", c),
+			TTL:    leaseTTL,
+			OnLost: func(int, error) { lost.Add(1) },
+			OnHeartbeat: func(_ int, d time.Duration, err error) {
+				if err == nil {
+					renewLat.Observe(d)
+				}
+			},
+		})
+		if err != nil {
+			closeAll()
+			return sessionReport{}, err
+		}
+		sessions = append(sessions, s)
+		// Spread the holders across sessions, remainder to the first few.
+		share := holders / clients
+		if c < holders%clients {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		if _, err := s.AcquireN(context.Background(), share); err != nil {
+			closeAll()
+			return sessionReport{}, fmt.Errorf("session %d acquiring %d holders: %w", c, share, err)
+		}
+	}
+
+	// The measured window opens only after every session is populated:
+	// setup (N acquire_batch round trips) must not dilute the renewal
+	// throughput, and the window closes BEFORE teardown for the same
+	// reason — the classic loadgen had exactly this measured-vs-configured
+	// window bug on its elapsed time. Counters are baselined here so
+	// heartbeats that fired while later sessions were still acquiring
+	// don't count against the window either.
+	var baseHeartbeats, baseRenews, baseRetries int64
+	for _, s := range sessions {
+		st := s.Stats()
+		baseHeartbeats += st.Heartbeats
+		baseRenews += st.Renewed
+		baseRetries += st.Retries
+	}
+	start := time.Now()
+
+	// Churn traffic rides alongside: acquire → release, one lease at a
+	// time, sharing the server with the heartbeat storm.
+	var churnAcquires, churnReleases, churnFailures atomic.Int64
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < churn; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			owner := fmt.Sprintf("churn-%d", id)
+			for time.Now().Before(deadline) {
+				var l wire.Lease
+				if !post(client, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
+					churnFailures.Add(1)
+					continue
+				}
+				churnAcquires.Add(1)
+				if post(client, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
+					churnReleases.Add(1)
+				} else {
+					churnFailures.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(time.Until(deadline))
+	wg.Wait()
+
+	// Snapshot the counters and close the window at the same instant,
+	// before teardown: closeAll's release_batch round trips are not
+	// renewal throughput. Lost is tallied through OnLost; the
+	// per-session Stats cover the rest.
+	var heartbeats, renews, retries int64
+	for _, s := range sessions {
+		st := s.Stats()
+		heartbeats += st.Heartbeats
+		renews += st.Renewed
+		retries += st.Retries
+	}
+	heartbeats -= baseHeartbeats
+	renews -= baseRenews
+	retries -= baseRetries
+	elapsed := time.Since(start)
+	closeAll()
+	return sessionReport{
+		Holders:       holders,
+		Sessions:      len(sessions),
+		Churners:      churn,
+		Duration:      duration,
+		Elapsed:       elapsed,
+		Heartbeats:    heartbeats,
+		Renews:        renews,
+		Retries:       retries,
+		Lost:          lost.Load(),
+		ChurnAcquires: churnAcquires.Load(),
+		ChurnReleases: churnReleases.Load(),
+		ChurnFailures: churnFailures.Load(),
+		RenewLat:      latSummary{P50: renewLat.Quantile(0.50), P99: renewLat.Quantile(0.99)},
+		RenewsPerS:    float64(renews) / elapsed.Seconds(),
 	}, nil
 }
 

@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/wire"
 	"repro/lease"
+	"repro/leaseclient"
 )
 
 // newTestServer spins a full service stack (LevelArray namer, lease
@@ -54,13 +58,13 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 func TestAcquireRenewReleaseRoundTrip(t *testing.T) {
 	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
 
-	resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{
+	resp, body := postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{
 		Owner: "w1", Meta: map[string]string{"zone": "a"},
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("acquire status = %d, body %s", resp.StatusCode, body)
 	}
-	var l leaseJSON
+	var l wire.Lease
 	if err := json.Unmarshal(body, &l); err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +72,11 @@ func TestAcquireRenewReleaseRoundTrip(t *testing.T) {
 		t.Fatalf("acquire response incomplete: %+v", l)
 	}
 
-	resp, body = postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token})
+	resp, body = postJSON(t, srv.URL+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("renew status = %d, body %s", resp.StatusCode, body)
 	}
-	var renewed leaseJSON
+	var renewed wire.Lease
 	if err := json.Unmarshal(body, &renewed); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +90,7 @@ func TestAcquireRenewReleaseRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var listing struct {
-		Leases []leaseJSON `json:"leases"`
+		Leases []wire.Lease `json:"leases"`
 	}
 	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
 		t.Fatal(err)
@@ -101,12 +105,12 @@ func TestAcquireRenewReleaseRoundTrip(t *testing.T) {
 		t.Fatalf("listing leaked fencing token %d", listing.Leases[0].Token)
 	}
 
-	resp, body = postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+	resp, body = postJSON(t, srv.URL+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token})
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("release status = %d, body %s", resp.StatusCode, body)
 	}
 	// Releasing again is a 404: the lease is gone.
-	resp, _ = postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+	resp, _ = postJSON(t, srv.URL+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("double release status = %d, want 404", resp.StatusCode)
 	}
@@ -116,24 +120,24 @@ func TestErrorStatusMapping(t *testing.T) {
 	srv := newTestServer(t, 1, lease.Config{TTL: time.Minute, SweepInterval: -1})
 
 	// Wrong token -> 409.
-	_, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
-	var l leaseJSON
+	_, body := postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{Owner: "w"})
+	var l wire.Lease
 	if err := json.Unmarshal(body, &l); err != nil {
 		t.Fatal(err)
 	}
-	resp, _ := postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token + 99})
+	resp, _ := postJSON(t, srv.URL+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token + 99})
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("wrong-token renew = %d, want 409", resp.StatusCode)
 	}
 
 	// Unknown name -> 404.
-	resp, _ = postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name + 1, Token: 1})
+	resp, _ = postJSON(t, srv.URL+"/v1/renew", wire.RenewRequest{Name: l.Name + 1, Token: 1})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown renew = %d, want 404", resp.StatusCode)
 	}
 
 	// Capacity 1 is a hard cap: a second concurrent lease -> 503.
-	resp, _ = postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
+	resp, _ = postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{Owner: "w"})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("over-capacity acquire = %d, want 503", resp.StatusCode)
 	}
@@ -158,8 +162,8 @@ func TestExpiredLeaseReclaimed(t *testing.T) {
 		SweepInterval: 5 * time.Millisecond,
 	})
 
-	_, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "crasher"})
-	var l leaseJSON
+	_, body := postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{Owner: "crasher"})
+	var l wire.Lease
 	if err := json.Unmarshal(body, &l); err != nil {
 		t.Fatal(err)
 	}
@@ -169,9 +173,9 @@ func TestExpiredLeaseReclaimed(t *testing.T) {
 	// was reclaimed and the capacity slot freed.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "fresh", TTLms: 60_000})
+		resp, body := postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{Owner: "fresh", TTLms: 60_000})
 		if resp.StatusCode == http.StatusOK {
-			var nl leaseJSON
+			var nl wire.Lease
 			if err := json.Unmarshal(body, &nl); err != nil {
 				t.Fatal(err)
 			}
@@ -185,7 +189,7 @@ func TestExpiredLeaseReclaimed(t *testing.T) {
 
 	// The crashed holder's token is dead: renewing with it is 404 or 410
 	// (depending on whether the sweeper or a re-acquisition got there first).
-	resp, _ := postJSON(t, srv.URL+"/v1/renew", renewRequest{Name: l.Name, Token: l.Token})
+	resp, _ := postJSON(t, srv.URL+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token})
 	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusGone &&
 		resp.StatusCode != http.StatusConflict {
 		t.Fatalf("stale renew = %d, want 404/409/410", resp.StatusCode)
@@ -197,13 +201,13 @@ func TestExpiredLeaseReclaimed(t *testing.T) {
 // not defaulted (negative wrap) or arbitrary.
 func TestHugeTTLCappedNotWrapped(t *testing.T) {
 	srv := newTestServer(t, 4, lease.Config{TTL: time.Second, SweepInterval: -1})
-	resp, body := postJSON(t, srv.URL+"/v1/acquire", acquireRequest{
+	resp, body := postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{
 		Owner: "greedy", TTLms: 9_300_000_000_000_000, // ~295k years in ms
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("huge-ttl acquire = %d, body %s", resp.StatusCode, body)
 	}
-	var l leaseJSON
+	var l wire.Lease
 	if err := json.Unmarshal(body, &l); err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +231,7 @@ func TestHealthAndVars(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
-	postJSON(t, srv.URL+"/v1/acquire", acquireRequest{Owner: "w"})
+	postJSON(t, srv.URL+"/v1/acquire", wire.AcquireRequest{Owner: "w"})
 	varsResp, err := http.Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
@@ -304,13 +308,13 @@ func TestBuildNamer(t *testing.T) {
 func TestAcquireBatchEndpoint(t *testing.T) {
 	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
 
-	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{
+	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{
 		Owner: "batcher", Count: 8, Meta: map[string]string{"job": "j1"},
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch acquire status = %d, body %s", resp.StatusCode, body)
 	}
-	var granted leasesJSON
+	var granted wire.Leases
 	if err := json.Unmarshal(body, &granted); err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +332,7 @@ func TestAcquireBatchEndpoint(t *testing.T) {
 		}
 	}
 	for _, l := range granted.Leases {
-		resp, body := postJSON(t, srv.URL+"/v1/release", releaseRequest{Name: l.Name, Token: l.Token})
+		resp, body := postJSON(t, srv.URL+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token})
 		if resp.StatusCode != http.StatusNoContent {
 			t.Fatalf("release batch lease %d = %d, body %s", l.Name, resp.StatusCode, body)
 		}
@@ -340,19 +344,19 @@ func TestAcquireBatchEndpoint(t *testing.T) {
 func TestAcquireBatchEndpointErrors(t *testing.T) {
 	srv := newTestServer(t, 4, lease.Config{TTL: time.Minute, SweepInterval: -1})
 
-	resp, _ := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 0})
+	resp, _ := postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "w", Count: 0})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("count=0 batch = %d, want 400", resp.StatusCode)
 	}
 
-	resp, _ = postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 5})
+	resp, _ = postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "w", Count: 5})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("over-capacity batch = %d, want 503", resp.StatusCode)
 	}
 
 	// All-or-nothing: the failed batch granted nothing, so a full-capacity
 	// batch still fits.
-	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", acquireBatchRequest{Owner: "w", Count: 4})
+	resp, body := postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "w", Count: 4})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("full-capacity batch after failed batch = %d, body %s", resp.StatusCode, body)
 	}
@@ -414,5 +418,197 @@ func TestBuildServerNamer(t *testing.T) {
 	// A bad DSN fails loudly.
 	if _, _, _, err := buildServerNamer("levelarray?n=128&eps=2", "ignored", 0, false, 0); err == nil {
 		t.Fatal("DSN with inapplicable eps accepted")
+	}
+}
+
+// TestRenewBatchEndpoint round-trips the batch heartbeat endpoint with a
+// mix of outcomes in one request: renewals succeed per item, and each
+// failure carries its machine-readable code so clients learn exactly
+// which leases they lost.
+func TestRenewBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	_, body := postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "hb", Count: 3, TTLms: 5_000})
+	var granted wire.Leases
+	if err := json.Unmarshal(body, &granted); err != nil {
+		t.Fatal(err)
+	}
+	ls := granted.Leases
+
+	resp, body := postJSON(t, srv.URL+"/v1/renew_batch", wire.RenewBatchRequest{
+		TTLms: 30_000,
+		Items: []wire.Item{
+			{Name: ls[0].Name, Token: ls[0].Token},
+			{Name: ls[1].Name, Token: ls[1].Token + 99}, // hijacked token
+			{Name: -1, Token: 1},                        // never granted
+			{Name: ls[2].Name, Token: ls[2].Token},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("renew_batch status = %d, body %s — per-item failures must not fail the request", resp.StatusCode, body)
+	}
+	var results wire.BatchResults
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results.Results))
+	}
+	for _, pair := range [][2]int{{0, 0}, {3, 2}} { // result index -> granted lease index
+		r := results.Results[pair[0]]
+		if r.Lease == nil || r.Code != "" {
+			t.Fatalf("item %d = %+v, want renewed lease", pair[0], r)
+		}
+		if r.Lease.ExpiresAtMs <= ls[pair[1]].ExpiresAtMs {
+			t.Fatalf("item %d renewal did not extend expiry: %d -> %d",
+				pair[0], ls[pair[1]].ExpiresAtMs, r.Lease.ExpiresAtMs)
+		}
+	}
+	if got := results.Results[1].Code; got != wire.CodeWrongToken {
+		t.Fatalf("hijacked item code = %q, want %q", got, wire.CodeWrongToken)
+	}
+	if got := results.Results[2].Code; got != wire.CodeUnknownName {
+		t.Fatalf("unknown item code = %q, want %q", got, wire.CodeUnknownName)
+	}
+
+	// Empty batch: processed, zero results.
+	resp, body = postJSON(t, srv.URL+"/v1/renew_batch", wire.RenewBatchRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty renew_batch = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestReleaseBatchEndpoint covers the batched shutdown path: every held
+// lease back in one request, already-gone names reported per item.
+func TestReleaseBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: -1})
+
+	_, body := postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "bye", Count: 4})
+	var granted wire.Leases
+	if err := json.Unmarshal(body, &granted); err != nil {
+		t.Fatal(err)
+	}
+	items := make([]wire.Item, 0, 5)
+	for _, l := range granted.Leases {
+		items = append(items, wire.Item{Name: l.Name, Token: l.Token})
+	}
+	items = append(items, wire.Item{Name: -1, Token: 9}) // never granted
+
+	resp, body := postJSON(t, srv.URL+"/v1/release_batch", wire.ReleaseBatchRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release_batch status = %d, body %s", resp.StatusCode, body)
+	}
+	var results wire.BatchResults
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if results.Results[i].Code != "" || results.Results[i].Error != "" {
+			t.Fatalf("release item %d = %+v, want success", i, results.Results[i])
+		}
+	}
+	if got := results.Results[4].Code; got != wire.CodeUnknownName {
+		t.Fatalf("unknown release code = %q, want %q", got, wire.CodeUnknownName)
+	}
+
+	// Everything is back in the pool: the full capacity fits again.
+	resp, _ = postJSON(t, srv.URL+"/v1/acquire_batch", wire.AcquireBatchRequest{Owner: "next", Count: 64})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-capacity batch after release_batch = %d", resp.StatusCode)
+	}
+}
+
+// TestSessionAgainstRealServer is the full-stack integration check: a
+// leaseclient.Session heartbeating against the real handler chain
+// (HTTP mux -> lease.Manager -> LevelArray) with an aggressive sweeper
+// hunting for expired leases. On-time renewals must keep every lease
+// alive — OnLost firing means the client and server drifted.
+func TestSessionAgainstRealServer(t *testing.T) {
+	srv := newTestServer(t, 64, lease.Config{TTL: time.Minute, SweepInterval: 10 * time.Millisecond})
+
+	var lost atomic.Int64
+	s, err := leaseclient.NewSession(leaseclient.Config{
+		Target: srv.URL,
+		Owner:  "integration",
+		TTL:    400 * time.Millisecond,
+		OnLost: func(int, error) { lost.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	if _, err := s.AcquireN(context.Background(), k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outlive several TTLs under the sweeper's nose.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Renewed < 4*k {
+		if time.Now().After(deadline) {
+			t.Fatalf("session never reached 4 renewal rounds: %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lost.Load() != 0 {
+		t.Fatalf("lost %d leases with on-time renewals", lost.Load())
+	}
+	listResp, err := http.Get(srv.URL + "/v1/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing wire.Leases
+	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(listing.Leases) != k {
+		t.Fatalf("server lists %d live leases mid-session, want %d", len(listing.Leases), k)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("session close: %v", err)
+	}
+	listResp, err = http.Get(srv.URL + "/v1/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing = wire.Leases{}
+	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(listing.Leases) != 0 {
+		t.Fatalf("server still lists %d leases after session Close", len(listing.Leases))
+	}
+}
+
+// TestLoadGeneratorSessionsMode drives the -sessions load mode against a
+// test server: holders heartbeat through leaseclient while churners
+// cycle alongside, and nothing may be lost or fail.
+func TestLoadGeneratorSessionsMode(t *testing.T) {
+	srv := newTestServer(t, 256, lease.Config{TTL: time.Minute, SweepInterval: 20 * time.Millisecond})
+	rep, err := runSessionLoad(srv.URL, 64, 4, 2, 500*time.Millisecond, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("session load lost %d leases: %+v", rep.Lost, rep)
+	}
+	if rep.Holders != 64 || rep.Sessions != 4 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	if rep.Renews < 64 {
+		t.Fatalf("renews = %d, want at least one full round for 64 holders", rep.Renews)
+	}
+	if rep.Heartbeats == 0 || rep.Renews < rep.Heartbeats {
+		t.Fatalf("heartbeats %d / renews %d not coalesced: %+v", rep.Heartbeats, rep.Renews, rep)
+	}
+	if rep.ChurnAcquires == 0 || rep.ChurnFailures != 0 {
+		t.Fatalf("churn traffic unhealthy: %+v", rep)
+	}
+	var out bytes.Buffer
+	rep.print(&out)
+	if !strings.Contains(out.String(), "renewal throughput") {
+		t.Fatalf("report output missing throughput: %q", out.String())
 	}
 }

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+)
+
+// runF9 measures the renewal hot path — the traffic that dominates a
+// name service at scale, since every live holder heartbeats every
+// TTL·fraction while the acquire path idles. The sweep crosses the
+// standing holder population with the renew batch size (1 = the per-lease
+// Renew API, >1 = RenewBatch) and reads each measurement against the
+// heartbeat DEMAND the fraction axis implies: holders/(TTL·fraction)
+// required renewals per second. Headroom < 1 means that configuration
+// cannot keep its holders alive on one core.
+func runF9(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "F9",
+		Title: "Batched renewal: holders x heartbeat fraction x batch size",
+		Claim: "RenewBatch amortizes stripe locks, the clock read and counter updates; per-lease cost drops vs single Renew at scale",
+		Columns: []string{
+			"holders", "hb frac", "batch", "ns/renew", "renews/sec", "required/sec", "headroom",
+		},
+	}
+	holderCounts := []int{1 << 12, 1 << 16}
+	batches := []int{1, 64, 512}
+	fracs := []float64{0.5, 1.0 / 3, 0.2}
+	passes := 3
+	if cfg.Quick {
+		holderCounts = []int{1 << 10, 1 << 12}
+		batches = []int{1, 64}
+		fracs = []float64{1.0 / 3}
+		passes = 2
+	}
+	const ttl = 30 * time.Second // the renamed default lease class
+
+	cell := 0
+	for _, holders := range holderCounts {
+		for _, batch := range batches {
+			nsPerRenew, err := renewNs(holders, batch, passes, seedAt(cfg.Seed, cell))
+			cell++
+			if err != nil {
+				return nil, err
+			}
+			measured := 1e9 / nsPerRenew
+			for _, f := range fracs {
+				required := float64(holders) / (ttl.Seconds() * f)
+				t.AddRow(holders, fmt.Sprintf("1/%.0f", 1/f), batch,
+					nsPerRenew, measured, required, measured/required)
+			}
+		}
+	}
+	t.AddNote("GOMAXPROCS=%d; ns/renew is wall time over %d sequential passes across the full standing set",
+		runtime.GOMAXPROCS(0), passes)
+	t.AddNote("required/sec assumes every holder heartbeats each TTL*frac (TTL=%v); headroom = renews/sec / required", ttl)
+	t.AddNote("batch=1 drives Manager.Renew per lease; batch>1 drives RenewBatch in chunks (one lock visit per involved stripe)")
+	return t, nil
+}
+
+// renewNs builds a manager with `holders` standing leases and measures
+// mean wall-clock nanoseconds per renewal, driving the per-lease Renew
+// when batch == 1 and RenewBatch chunks otherwise.
+func renewNs(holders, batch, passes int, seed uint64) (float64, error) {
+	nm, err := renaming.Open(fmt.Sprintf("levelarray?n=%d&seed=%d", holders, seed))
+	if err != nil {
+		return 0, err
+	}
+	mgr, err := lease.New(nm, lease.Config{TTL: time.Hour, SweepInterval: -1, MaxLive: holders})
+	if err != nil {
+		return 0, err
+	}
+	defer mgr.Close()
+	ctx := context.Background()
+	leases, err := mgr.AcquireBatch(ctx, "f9", holders, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	items := make([]lease.RenewItem, len(leases))
+	for i, l := range leases {
+		items[i] = lease.RenewItem{Name: l.Name, Token: l.Token}
+	}
+
+	pass := func() error {
+		if batch == 1 {
+			for _, it := range items {
+				if _, err := mgr.Renew(it.Name, it.Token, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for start := 0; start < len(items); start += batch {
+			end := start + batch
+			if end > len(items) {
+				end = len(items)
+			}
+			results, err := mgr.RenewBatch(ctx, items[start:end], 0)
+			if err != nil {
+				return err
+			}
+			for i := range results {
+				if results[i].Err != nil {
+					return results[i].Err
+				}
+			}
+		}
+		return nil
+	}
+	// One warmup pass settles heap shape and map layout before timing.
+	if err := pass(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		if err := pass(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(passes*holders), nil
+}

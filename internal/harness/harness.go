@@ -153,6 +153,7 @@ func Experiments() []Experiment {
 		{ID: "F6", Title: "Deterministic (Moir-Anderson) vs randomized adaptive", Run: runF6},
 		{ID: "F7", Title: "Long-lived churn: LevelArray vs one-shot namers", Run: runF7},
 		{ID: "F8", Title: "Sharded lease manager throughput (shards x namer)", Run: runF8},
+		{ID: "F9", Title: "Batched renewal hot path (holders x heartbeat fraction x batch)", Run: runF9},
 	}
 }
 

@@ -1,0 +1,186 @@
+// Package wire is the JSON wire contract of cmd/renamed's /v1 HTTP API,
+// shared by the server's handlers and the leaseclient session layer so
+// the two cannot drift. Durations travel as integer milliseconds and
+// instants as Unix milliseconds — clients need no time-format parsing.
+//
+// Batch renew/release responses are PER-ITEM: the request was processed
+// even when individual items failed, and each failed item carries both a
+// human-readable error and a machine-readable code (see the Code
+// constants) that round-trips to the lease package's typed sentinels via
+// CodeFor/ErrFor. A heartbeating session uses the codes to learn exactly
+// which leases it lost and why.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+)
+
+// AcquireRequest is the body of POST /v1/acquire.
+type AcquireRequest struct {
+	Owner string            `json:"owner"`
+	TTLms int64             `json:"ttl_ms,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// AcquireBatchRequest is the body of POST /v1/acquire_batch.
+type AcquireBatchRequest struct {
+	Owner string            `json:"owner"`
+	Count int               `json:"count"`
+	TTLms int64             `json:"ttl_ms,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// RenewRequest is the body of POST /v1/renew.
+type RenewRequest struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+	TTLms int64  `json:"ttl_ms,omitempty"`
+}
+
+// ReleaseRequest is the body of POST /v1/release.
+type ReleaseRequest struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+}
+
+// Item identifies one lease inside a batch renew/release request.
+type Item struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+}
+
+// RenewBatchRequest is the body of POST /v1/renew_batch: one TTL applied
+// to every item, the etcd-style heartbeat shape.
+type RenewBatchRequest struct {
+	TTLms int64  `json:"ttl_ms,omitempty"`
+	Items []Item `json:"items"`
+}
+
+// ReleaseBatchRequest is the body of POST /v1/release_batch.
+type ReleaseBatchRequest struct {
+	Items []Item `json:"items"`
+}
+
+// Lease is the wire form of one lease.
+type Lease struct {
+	Name        int               `json:"name"`
+	Token       uint64            `json:"token,omitempty"`
+	Owner       string            `json:"owner,omitempty"`
+	ExpiresAtMs int64             `json:"expires_at_ms"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// Leases is the body of acquire_batch and /v1/leases responses.
+type Leases struct {
+	Leases []Lease `json:"leases"`
+}
+
+// BatchResult is one item's outcome in a renew_batch/release_batch
+// response, index-aligned with the request's items. Exactly one of Lease
+// (renew success) or Error+Code is populated; a release success is all
+// zero values.
+type BatchResult struct {
+	Lease *Lease `json:"lease,omitempty"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// BatchResults is the body of renew_batch/release_batch responses.
+type BatchResults struct {
+	Results []BatchResult `json:"results"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Per-item failure codes. CodeInternal covers errors outside the lease
+// taxonomy (e.g. a namer that refuses to take a released name back).
+const (
+	CodeUnknownName = "unknown_name"
+	CodeWrongToken  = "wrong_token"
+	CodeExpired     = "expired"
+	CodeClosed      = "closed"
+	CodeCancelled   = "cancelled"
+	CodeInternal    = "internal"
+)
+
+// CodeFor maps a per-item error from lease.Manager onto its wire code.
+func CodeFor(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, lease.ErrUnknownName):
+		return CodeUnknownName
+	case errors.Is(err, lease.ErrWrongToken):
+		return CodeWrongToken
+	case errors.Is(err, lease.ErrExpired):
+		return CodeExpired
+	case errors.Is(err, lease.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, renaming.ErrCancelled):
+		return CodeCancelled
+	default:
+		return CodeInternal
+	}
+}
+
+// ErrFor is CodeFor's client-side inverse: it rebuilds a typed error a
+// session can errors.Is against the lease sentinels, keeping the
+// server's rendered message for logs.
+func ErrFor(code, msg string) error {
+	var sentinel error
+	switch code {
+	case "":
+		return nil
+	case CodeUnknownName:
+		sentinel = lease.ErrUnknownName
+	case CodeWrongToken:
+		sentinel = lease.ErrWrongToken
+	case CodeExpired:
+		sentinel = lease.ErrExpired
+	case CodeClosed:
+		sentinel = lease.ErrClosed
+	case CodeCancelled:
+		sentinel = renaming.ErrCancelled
+	default:
+		return fmt.Errorf("renamed: %s", msg)
+	}
+	if msg == "" || msg == sentinel.Error() {
+		return sentinel
+	}
+	return fmt.Errorf("%w (server: %s)", sentinel, msg)
+}
+
+// FromLease converts a manager lease to its wire form.
+func FromLease(l lease.Lease) Lease {
+	return Lease{
+		Name:        l.Name,
+		Token:       l.Token,
+		Owner:       l.Owner,
+		ExpiresAtMs: l.ExpiresAt.UnixMilli(),
+		Meta:        l.Meta,
+	}
+}
+
+// TTLFromMs converts a client-supplied millisecond count to a Duration
+// without overflowing: a wrapped multiplication would turn "longest
+// possible lease" into a negative value the manager reads as "default
+// TTL". Saturated requests still get capped at the manager's MaxTTL.
+func TTLFromMs(ms int64) time.Duration {
+	if ms <= 0 {
+		return 0 // manager applies its default TTL
+	}
+	const maxMs = int64(math.MaxInt64) / int64(time.Millisecond)
+	if ms > maxMs {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ms) * time.Millisecond
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+)
+
+// TestCodeRoundTrip: every typed lease error must survive the
+// server→code→client trip as something errors.Is can still classify.
+func TestCodeRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		lease.ErrUnknownName,
+		lease.ErrWrongToken,
+		lease.ErrExpired,
+		lease.ErrClosed,
+		renaming.ErrCancelled,
+	} {
+		// As the server produces them: possibly wrapped with context.
+		wrapped := fmt.Errorf("lease: renew batch: %w", sentinel)
+		code := CodeFor(wrapped)
+		if code == "" || code == CodeInternal {
+			t.Fatalf("CodeFor(%v) = %q, want a specific code", wrapped, code)
+		}
+		back := ErrFor(code, wrapped.Error())
+		if !errors.Is(back, sentinel) {
+			t.Fatalf("ErrFor(%q) = %v, does not match %v", code, back, sentinel)
+		}
+	}
+	if got := CodeFor(nil); got != "" {
+		t.Fatalf("CodeFor(nil) = %q, want empty", got)
+	}
+	if got := ErrFor("", ""); got != nil {
+		t.Fatalf(`ErrFor("") = %v, want nil`, got)
+	}
+	// Outside the taxonomy: internal, and the message survives.
+	odd := errors.New("namer exploded")
+	if got := CodeFor(odd); got != CodeInternal {
+		t.Fatalf("CodeFor(odd) = %q, want %q", got, CodeInternal)
+	}
+	if got := ErrFor(CodeInternal, "namer exploded"); got == nil || got.Error() != "renamed: namer exploded" {
+		t.Fatalf("ErrFor(internal) = %v", got)
+	}
+}
+
+// TestTTLFromMs: the overflow guard must saturate, not wrap negative
+// (which the manager would read as "use the default TTL").
+func TestTTLFromMs(t *testing.T) {
+	if got := TTLFromMs(0); got != 0 {
+		t.Fatalf("TTLFromMs(0) = %v, want 0", got)
+	}
+	if got := TTLFromMs(-5); got != 0 {
+		t.Fatalf("TTLFromMs(-5) = %v, want 0", got)
+	}
+	if got := TTLFromMs(1500); got != 1500*time.Millisecond {
+		t.Fatalf("TTLFromMs(1500) = %v", got)
+	}
+	if got := TTLFromMs(math.MaxInt64); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("TTLFromMs(max) = %v, want saturation", got)
+	}
+	if got := TTLFromMs(math.MaxInt64/int64(time.Millisecond) + 1); got <= 0 {
+		t.Fatalf("TTLFromMs(overflow boundary) = %v, wrapped negative", got)
+	}
+}

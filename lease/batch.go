@@ -1,0 +1,208 @@
+package lease
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	renaming "repro"
+)
+
+// At production scale renewal — not acquisition — is the dominant lease
+// traffic: every live holder heartbeats every TTL/3, so a standing
+// population of a million holders means a million renew operations per
+// heartbeat interval while the acquire path idles. RenewBatch and
+// ReleaseBatch mirror AcquireBatch's shape for that hot path: items are
+// bucketed by lock stripe so each involved shard is locked exactly once
+// however many items it received, the clock is read once per call, and
+// the renewed counter settles once per batch instead of once per lease.
+//
+// Unlike AcquireBatch the batch forms are NOT all-or-nothing: each item
+// carries its own typed outcome (ErrUnknownName, ErrWrongToken,
+// ErrExpired, ...), because a heartbeating session must learn exactly
+// which of its leases it lost — fencing would be useless if one stale
+// token poisoned the whole heartbeat.
+
+// RenewItem identifies one lease in a RenewBatch: the (name, token) pair
+// minted at acquisition.
+type RenewItem struct {
+	Name  int
+	Token uint64
+}
+
+// RenewResult is the per-item outcome of a RenewBatch. On success Err is
+// nil and Lease carries the extended deadline; otherwise Err is one of
+// the typed refusals (ErrUnknownName, ErrWrongToken, ErrExpired — or
+// ErrClosed / an error matching renaming.ErrCancelled for items a
+// mid-batch shutdown or cancellation left unprocessed).
+type RenewResult struct {
+	Lease Lease
+	Err   error
+}
+
+// ReleaseItem identifies one lease in a ReleaseBatch.
+type ReleaseItem struct {
+	Name  int
+	Token uint64
+}
+
+// ReleaseResult is the per-item outcome of a ReleaseBatch. A lease that
+// was removed but whose name the namer refused to take back (e.g.
+// ErrOneShot) carries that namer error, matching Release.
+type ReleaseResult struct {
+	Err error
+}
+
+// stripePlan groups a batch's item indices by the lock stripe their name
+// routes to, so the batch walk locks each involved stripe exactly once.
+// Built with a counting sort into two flat slices — a renewal storm runs
+// this on every heartbeat, so no per-stripe map or slice-of-slices
+// allocations. Stripes are visited in index order; items keep their
+// request order within a stripe.
+type stripePlan struct {
+	idxs   []int // item indices, grouped by stripe
+	starts []int // starts[s]..starts[s+1] is stripe s's group in idxs
+}
+
+// group returns the item indices routed to stripe s.
+func (p *stripePlan) group(s int) []int { return p.idxs[p.starts[s]:p.starts[s+1]] }
+
+// restFrom returns all item indices in stripe s and later — the
+// unprocessed remainder when a batch walk aborts at stripe s.
+func (p *stripePlan) restFrom(s int) []int { return p.idxs[p.starts[s]:] }
+
+// planStripes builds the stripe plan for n items whose i-th name is
+// name(i).
+func (m *Manager) planStripes(name func(i int) int, n int) stripePlan {
+	shards := len(m.shards)
+	starts := make([]int, shards+1)
+	for i := 0; i < n; i++ {
+		starts[(name(i)&m.mask)+1]++
+	}
+	for s := 0; s < shards; s++ {
+		starts[s+1] += starts[s]
+	}
+	idxs := make([]int, n)
+	fill := make([]int, shards)
+	for i := 0; i < n; i++ {
+		s := name(i) & m.mask
+		idxs[starts[s]+fill[s]] = i
+		fill[s]++
+	}
+	return stripePlan{idxs: idxs, starts: starts}
+}
+
+// RenewBatch extends every lease in items by ttl (<= 0 means the
+// configured default) through one lock visit per involved stripe. The
+// returned slice is index-aligned with items; the call-level error is
+// non-nil only when nothing was attempted (manager closed, context
+// already done, empty batch is a no-op). Cancellation between stripe
+// visits stops the walk and marks the remaining items' results with an
+// error matching renaming.ErrCancelled — items already visited keep
+// their real outcomes, so a session can still trust what it learned.
+func (m *Manager) RenewBatch(ctx context.Context, items []RenewItem, ttl time.Duration) ([]RenewResult, error) {
+	if m.closed.Load() {
+		m.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("lease: renew batch: %w: %w", renaming.ErrCancelled, err)
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	results := make([]RenewResult, len(items))
+	plan := m.planStripes(func(i int) int { return items[i].Name }, len(items))
+	now := m.cfg.Now()
+	var renewed int64
+	// failRest stamps err on every item in the not-yet-visited stripes;
+	// the abort is one rejection event, matching AcquireBatch's
+	// call-level accounting.
+	failRest := func(rest []int, err error) {
+		for _, i := range rest {
+			results[i].Err = err
+		}
+		m.rejected.Add(1)
+	}
+	for s := range m.shards {
+		group := plan.group(s)
+		if len(group) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			failRest(plan.restFrom(s), fmt.Errorf("lease: renew batch: %w: %w", renaming.ErrCancelled, err))
+			break
+		}
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		if m.closed.Load() {
+			sh.mu.Unlock()
+			failRest(plan.restFrom(s), ErrClosed)
+			break
+		}
+		for _, i := range group {
+			l, err := m.renewLocked(sh, items[i].Name, items[i].Token, ttl, now)
+			if err != nil {
+				results[i].Err = err
+				continue
+			}
+			results[i].Lease = l.clone()
+			renewed++
+		}
+		sh.maybeCompact()
+		sh.mu.Unlock()
+	}
+	m.renewed.Add(renewed)
+	return results, nil
+}
+
+// ReleaseBatch ends every lease in items through one lock visit per
+// involved stripe, returning index-aligned per-item outcomes (see
+// ReleaseResult). Like RenewBatch it is not all-or-nothing; cancellation
+// or a racing Close between stripe visits marks only the unprocessed
+// remainder — names already handed back stay handed back.
+func (m *Manager) ReleaseBatch(ctx context.Context, items []ReleaseItem) ([]ReleaseResult, error) {
+	if m.closed.Load() {
+		m.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("lease: release batch: %w: %w", renaming.ErrCancelled, err)
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	results := make([]ReleaseResult, len(items))
+	plan := m.planStripes(func(i int) int { return items[i].Name }, len(items))
+	now := m.cfg.Now()
+	failRest := func(rest []int, err error) {
+		for _, i := range rest {
+			results[i].Err = err
+		}
+		m.rejected.Add(1)
+	}
+	for s := range m.shards {
+		group := plan.group(s)
+		if len(group) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			failRest(plan.restFrom(s), fmt.Errorf("lease: release batch: %w: %w", renaming.ErrCancelled, err))
+			break
+		}
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		if m.closed.Load() {
+			sh.mu.Unlock()
+			failRest(plan.restFrom(s), ErrClosed)
+			break
+		}
+		for _, i := range group {
+			results[i].Err = m.releaseLocked(sh, items[i].Name, items[i].Token, now)
+		}
+		sh.mu.Unlock()
+	}
+	return results, nil
+}

@@ -143,7 +143,13 @@ type Metrics struct {
 	Renewed  int64 // successful renewals
 	Released int64 // explicit releases
 	Expired  int64 // leases reclaimed after TTL lapse
-	Rejected int64 // operations refused (exhausted, wrong token, expired, unknown)
+	// Rejected counts refused operations: capacity/namespace exhaustion,
+	// wrong token, expiry, unknown name, cancellation — and ErrClosed,
+	// which every other refusal already counted but the early shutdown
+	// returns used to skip, under-reporting rejections during drain. A
+	// refused batch call counts once, plus once per item the table itself
+	// turned away.
+	Rejected int64
 	// ReclaimFailed counts names the manager tried to hand back and the
 	// namer refused (namer.Release errored). Over a one-shot namer such
 	// as MoirAnderson every reclaim fails with ErrOneShot and the slot is
@@ -164,6 +170,15 @@ type Manager struct {
 	mask   int
 
 	closed atomic.Bool
+
+	// Single-flight state for the capacity-pressure sweep in reserve: at
+	// most one reserve-path sweepAll runs at a time, concurrent losers
+	// join it. capSweepsRun/capSweepJoined instrument the coalescing for
+	// the regression test that pins it.
+	capSweepMu     sync.Mutex
+	capSweepActive *capSweepCall
+	capSweepsRun   atomic.Int64
+	capSweepJoined atomic.Int64
 
 	// live counts held names plus in-flight Acquire reservations.
 	// Acquire reserves capacity here *before* probing the namer, so
@@ -250,10 +265,47 @@ func (m *Manager) reserve(k int) error {
 			return nil
 		}
 		m.live.Add(-int64(k))
-		if m.sweepAll(m.cfg.Now()) == 0 {
+		if m.reclaimForCapacity() == 0 {
 			return ErrCapacity
 		}
 	}
+}
+
+// capSweepCall is one in-flight capacity-pressure sweep; latecomers block
+// on done and share reclaimed instead of sweeping again themselves.
+type capSweepCall struct {
+	done      chan struct{}
+	reclaimed int
+}
+
+// reclaimForCapacity runs — or joins — a single capacity-pressure sweep
+// and reports how many leases it reclaimed. Pre-fix, every reserve that
+// lost the MaxLive race ran its own sweepAll, so a rejection storm at
+// capacity had each loser serialize on all O(shards) stripe locks over
+// and over; single-flighting means one loser pays the sweep and the rest
+// wait for its verdict. A joiner's verdict is computed from a clock read
+// that may slightly predate its own failure — acceptable, since the
+// capacity check is inherently a race against concurrent expiry.
+func (m *Manager) reclaimForCapacity() int {
+	m.capSweepMu.Lock()
+	if c := m.capSweepActive; c != nil {
+		m.capSweepMu.Unlock()
+		m.capSweepJoined.Add(1)
+		<-c.done
+		return c.reclaimed
+	}
+	c := &capSweepCall{done: make(chan struct{})}
+	m.capSweepActive = c
+	m.capSweepMu.Unlock()
+
+	m.capSweepsRun.Add(1)
+	c.reclaimed = m.sweepAll(m.cfg.Now())
+
+	m.capSweepMu.Lock()
+	m.capSweepActive = nil
+	m.capSweepMu.Unlock()
+	close(c.done)
+	return c.reclaimed
 }
 
 // Acquire grants a lease on a fresh name for owner. ttl <= 0 means the
@@ -271,6 +323,7 @@ func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]strin
 // returned, and no name or TAS slot stays held.
 func (m *Manager) AcquireCtx(ctx context.Context, owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
 	if err := m.reserve(1); err != nil {
@@ -301,6 +354,7 @@ func (m *Manager) AcquireCtx(ctx context.Context, owner string, ttl time.Duratio
 		sh.mu.Unlock()
 		m.live.Add(-1)
 		m.releaseName(name)
+		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
 	sh.leases[name] = l
@@ -322,6 +376,7 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 		return nil, fmt.Errorf("lease: AcquireBatch(%d): %w", k, renaming.ErrBadConfig)
 	}
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return nil, ErrClosed
 	}
 	// Reject impossible batch sizes before touching any shared state: a k
@@ -392,6 +447,7 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 				}
 			}
 			m.live.Add(-int64(remaining))
+			m.rejected.Add(1)
 			return nil, ErrClosed
 		}
 		for _, l := range buckets[idx] {
@@ -410,9 +466,12 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 
 // Renew extends the lease identified by (name, token) by ttl (<= 0 means
 // the configured default). A renewal that arrives after expiry fails with
-// ErrExpired and reclaims the name immediately.
+// ErrExpired and reclaims the name immediately. Holders heartbeating many
+// leases should prefer RenewBatch, which pays one lock visit per involved
+// stripe instead of one per lease.
 func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error) {
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
 	sh := m.shard(name)
@@ -422,8 +481,23 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 	// succeed after Close has started, or the caller would hold a
 	// "renewed" lease on a name the drain is about to hand back.
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
+	l, err := m.renewLocked(sh, name, token, ttl, m.cfg.Now())
+	if err != nil {
+		return Lease{}, err
+	}
+	sh.maybeCompact()
+	m.renewed.Add(1)
+	return l.clone(), nil
+}
+
+// renewLocked applies one renewal against sh — the shared core of Renew
+// and RenewBatch. Refusals settle the rejected counter here; successes
+// leave the renewed counter (and compaction) to the caller, which batches
+// them. Callers hold sh.mu and name routes to sh.
+func (m *Manager) renewLocked(sh *shard, name int, token uint64, ttl time.Duration, now time.Time) (Lease, error) {
 	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
@@ -433,7 +507,6 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 		m.rejected.Add(1)
 		return Lease{}, ErrWrongToken
 	}
-	now := m.cfg.Now()
 	if now.After(l.ExpiresAt) {
 		m.reclaimLocked(sh, name)
 		m.rejected.Add(1)
@@ -442,9 +515,7 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 	l.ExpiresAt = now.Add(m.clampTTL(ttl))
 	sh.leases[name] = l
 	sh.expiries.push(heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
-	sh.maybeCompact()
-	m.renewed.Add(1)
-	return l.clone(), nil
+	return l, nil
 }
 
 // Release ends the lease identified by (name, token) and returns the name
@@ -453,14 +524,25 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 // immediately, so the outcome does not depend on sweeper timing.
 func (m *Manager) Release(name int, token uint64) error {
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return ErrClosed
 	}
 	sh := m.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if m.closed.Load() {
+		m.rejected.Add(1)
 		return ErrClosed
 	}
+	return m.releaseLocked(sh, name, token, m.cfg.Now())
+}
+
+// releaseLocked applies one release against sh — the shared core of
+// Release and ReleaseBatch. Refusals settle the rejected counter; a
+// successful removal still propagates the namer's Release error (e.g.
+// ErrOneShot) after counting it in ReclaimFailed. Callers hold sh.mu and
+// name routes to sh.
+func (m *Manager) releaseLocked(sh *shard, name int, token uint64, now time.Time) error {
 	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
@@ -470,7 +552,7 @@ func (m *Manager) Release(name int, token uint64) error {
 		m.rejected.Add(1)
 		return ErrWrongToken
 	}
-	if m.cfg.Now().After(l.ExpiresAt) {
+	if now.After(l.ExpiresAt) {
 		m.reclaimLocked(sh, name)
 		m.rejected.Add(1)
 		return ErrExpired

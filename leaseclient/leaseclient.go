@@ -1,0 +1,575 @@
+// Package leaseclient is the client half of cmd/renamed's lease
+// protocol: a Session acquires names from a renamed server and keeps
+// them alive for you — the etcd-style session idiom.
+//
+// A Session owns a background heartbeat goroutine that renews every held
+// lease at a configurable fraction of the TTL (default 1/3, with jitter
+// so fleets of sessions don't thunder in phase), coalescing all due
+// renewals into single /v1/renew_batch calls. Transient failures —
+// connection errors, 5xx — are retried with exponential backoff inside
+// the remaining TTL budget. A renewal the server refuses outright
+// (unknown name, fencing token mismatch, expired) means the lease is
+// LOST: it is dropped from the session and reported through the OnLost
+// callback, typed so errors.Is against lease.ErrWrongToken /
+// lease.ErrExpired / lease.ErrUnknownName tells you why. Close releases
+// everything in one /v1/release_batch round trip.
+//
+//	s, err := leaseclient.NewSession(leaseclient.Config{
+//		Target: "http://localhost:8077",
+//		Owner:  "worker-7",
+//		TTL:    5 * time.Second,
+//		OnLost: func(name int, err error) { log.Printf("lost %d: %v", name, err) },
+//	})
+//	l, err := s.Acquire(ctx)    // one name, heartbeated from now on
+//	...
+//	defer s.Close()             // releases every held lease
+package leaseclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/lease"
+)
+
+// ErrSessionClosed is returned by operations on a closed Session.
+var ErrSessionClosed = errors.New("leaseclient: session closed")
+
+// Lease is one name the session holds. Copies are handed out; the
+// session keeps renewing the lease regardless of what the caller does
+// with the copy.
+type Lease struct {
+	// Name is the acquired integer name.
+	Name int
+	// Token is the fencing token minted at acquisition. The session
+	// presents it on every renewal; callers passing it to other systems
+	// get fencing for free.
+	Token uint64
+	// ExpiresAt is the deadline as of the last successful acquire/renew,
+	// computed from the server's expires_at_ms.
+	ExpiresAt time.Time
+}
+
+// Config tunes a Session. Target is required; everything else defaults.
+type Config struct {
+	// Target is the renamed server's base URL, e.g. "http://host:8077".
+	Target string
+	// Owner identifies this session to the server (shows up in
+	// /v1/leases listings).
+	Owner string
+	// TTL is the lease duration requested on every acquire and renew.
+	// 0 uses the server's default TTL; the heartbeat cadence then derives
+	// from the expiry the server actually granted, so either way renewals
+	// land well before the deadline.
+	TTL time.Duration
+	// HeartbeatFraction is the fraction of the remaining TTL to wait
+	// between renewals. Default 1/3: a lease gets two more chances if a
+	// heartbeat round fails transiently.
+	HeartbeatFraction float64
+	// Jitter spreads each heartbeat interval by ±Jitter (a fraction of
+	// the interval, default 0.1) so many sessions started together don't
+	// renew in phase forever.
+	Jitter float64
+	// MaxBatch caps the items per /v1/renew_batch (and release_batch)
+	// request. Default 4096 — at the wire's ~25 bytes per item this
+	// stays well inside the server's 1 MiB body limit.
+	MaxBatch int
+	// HTTPClient overrides the transport. Default: 5-second timeout.
+	HTTPClient *http.Client
+	// OnLost is invoked (from the heartbeat goroutine, without internal
+	// locks held) for every lease the server refuses to renew: the
+	// session no longer holds the name, and err matches
+	// lease.ErrUnknownName, lease.ErrWrongToken or lease.ErrExpired.
+	OnLost func(name int, err error)
+	// OnHeartbeat, if set, observes every renew_batch round trip: the
+	// number of items sent, the wall-clock latency, and the transport
+	// error if the round failed (nil on success, even if items were
+	// lost). Load generators hang latency histograms off this.
+	OnHeartbeat func(items int, d time.Duration, err error)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Target == "" {
+		return errors.New("leaseclient: Config.Target required")
+	}
+	if c.HeartbeatFraction <= 0 || c.HeartbeatFraction >= 1 {
+		if c.HeartbeatFraction != 0 {
+			return fmt.Errorf("leaseclient: HeartbeatFraction %v outside (0,1)", c.HeartbeatFraction)
+		}
+		c.HeartbeatFraction = 1.0 / 3
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("leaseclient: Jitter %v outside [0,1)", c.Jitter)
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	return nil
+}
+
+// Stats is a snapshot of a session's lifetime counters.
+type Stats struct {
+	Renewed    int64 // successful single-lease renewals (across batches)
+	Heartbeats int64 // renew_batch round trips attempted
+	Retries    int64 // heartbeat rounds that failed transport and backed off
+	Lost       int64 // leases dropped because the server refused renewal
+}
+
+// Session holds leases against one renamed server and renews them in the
+// background. All methods are safe for concurrent use.
+type Session struct {
+	cfg Config
+
+	mu     sync.Mutex
+	leases map[int]Lease
+	closed bool
+
+	// kick wakes the heartbeat loop early when the lease set changes
+	// (first acquire after idle, or a Close).
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	renewed    atomic.Int64
+	heartbeats atomic.Int64
+	retries    atomic.Int64
+	lost       atomic.Int64
+
+	// backoff is the current transient-failure retry delay; reset to 0
+	// by any successful heartbeat round.
+	backoff time.Duration
+}
+
+// NewSession validates cfg and starts the heartbeat loop. The session
+// holds no leases until Acquire/AcquireN.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:    cfg,
+		leases: make(map[int]Lease),
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Acquire leases one fresh name and adds it to the heartbeat set.
+func (s *Session) Acquire(ctx context.Context) (Lease, error) {
+	ls, err := s.AcquireN(ctx, 1)
+	if err != nil {
+		return Lease{}, err
+	}
+	return ls[0], nil
+}
+
+// AcquireN leases k fresh names in one /v1/acquire_batch round trip
+// (all-or-nothing, like the server) and adds them to the heartbeat set.
+func (s *Session) AcquireN(ctx context.Context, k int) ([]Lease, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("leaseclient: AcquireN(%d): k must be >= 1", k)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.mu.Unlock()
+
+	var granted wire.Leases
+	if k == 1 {
+		// The single-acquire endpoint responds with a bare lease.
+		var l wire.Lease
+		if err := s.post(ctx, "/v1/acquire",
+			wire.AcquireRequest{Owner: s.cfg.Owner, TTLms: s.cfg.TTL.Milliseconds()}, &l); err != nil {
+			return nil, err
+		}
+		granted.Leases = []wire.Lease{l}
+	} else {
+		if err := s.post(ctx, "/v1/acquire_batch",
+			wire.AcquireBatchRequest{Owner: s.cfg.Owner, Count: k, TTLms: s.cfg.TTL.Milliseconds()}, &granted); err != nil {
+			return nil, err
+		}
+		if len(granted.Leases) != k {
+			return nil, fmt.Errorf("leaseclient: acquire_batch returned %d leases, want %d", len(granted.Leases), k)
+		}
+	}
+
+	out := make([]Lease, len(granted.Leases))
+	s.mu.Lock()
+	if s.closed {
+		// Raced with Close: the session won't heartbeat these; hand them
+		// back rather than leaking them until the TTL.
+		s.mu.Unlock()
+		items := make([]wire.Item, len(granted.Leases))
+		for i, l := range granted.Leases {
+			items[i] = wire.Item{Name: l.Name, Token: l.Token}
+		}
+		s.releaseItems(context.Background(), items)
+		return nil, ErrSessionClosed
+	}
+	for i, wl := range granted.Leases {
+		l := Lease{Name: wl.Name, Token: wl.Token, ExpiresAt: time.UnixMilli(wl.ExpiresAtMs)}
+		s.leases[l.Name] = l
+		out[i] = l
+	}
+	s.mu.Unlock()
+	s.wake()
+	return out, nil
+}
+
+// Release hands one held name back immediately and stops renewing it.
+// The lease leaves the heartbeat set before the round trip (so an
+// overlapping heartbeat can't misread the release as a loss); if the
+// request never reaches the server, it is re-adopted and keeps being
+// renewed, so a transport blip cannot orphan a live server-side lease
+// until its TTL.
+func (s *Session) Release(ctx context.Context, name int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	l, ok := s.leases[name]
+	if ok {
+		delete(s.leases, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("leaseclient: name %d not held by this session", name)
+	}
+	err := s.post(ctx, "/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil)
+	var se *statusError
+	if err != nil && !errors.As(err, &se) {
+		// Transport-level failure: the server may never have seen the
+		// release. Re-adopt the lease (unless the name was re-acquired
+		// or the session closed meanwhile) and let the caller retry. If
+		// the request did land and only the response was lost, the next
+		// heartbeat learns unknown_name and reports it through OnLost.
+		s.mu.Lock()
+		if _, taken := s.leases[name]; !taken && !s.closed {
+			s.leases[name] = l
+		}
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Leases snapshots the currently held leases.
+func (s *Session) Leases() []Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Lease, 0, len(s.leases))
+	for _, l := range s.leases {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Stats snapshots the session counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Renewed:    s.renewed.Load(),
+		Heartbeats: s.heartbeats.Load(),
+		Retries:    s.retries.Load(),
+		Lost:       s.lost.Load(),
+	}
+}
+
+// Close stops the heartbeat loop and releases every held lease in one
+// batched round trip. Idempotent; returns the first release error (a
+// lease the server says is already gone is not an error — losing the
+// race to the sweeper at shutdown is normal).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	items := make([]wire.Item, 0, len(s.leases))
+	for _, l := range s.leases {
+		items = append(items, wire.Item{Name: l.Name, Token: l.Token})
+	}
+	s.leases = map[int]Lease{}
+	s.mu.Unlock()
+
+	close(s.done)
+	s.wg.Wait()
+	return s.releaseItems(context.Background(), items)
+}
+
+// releaseItems hands names back via /v1/release_batch in MaxBatch
+// chunks, tolerating already-gone leases.
+func (s *Session) releaseItems(ctx context.Context, items []wire.Item) error {
+	var first error
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > s.cfg.MaxBatch {
+			chunk = chunk[:s.cfg.MaxBatch]
+		}
+		items = items[len(chunk):]
+		var results wire.BatchResults
+		err := s.post(ctx, "/v1/release_batch", wire.ReleaseBatchRequest{Items: chunk}, &results)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		for _, r := range results.Results {
+			rerr := wire.ErrFor(r.Code, r.Error)
+			if rerr != nil && first == nil && !isGone(rerr) {
+				first = rerr
+			}
+		}
+	}
+	return first
+}
+
+// loop is the heartbeat goroutine: sleep a fraction of the remaining
+// TTL (with jitter, or the current backoff after a transient failure),
+// then renew everything in batched round trips.
+func (s *Session) loop() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		wait, idle := s.nextWait()
+		if idle {
+			// Nothing held: sleep until the lease set changes.
+			select {
+			case <-s.done:
+				return
+			case <-s.kick:
+				continue
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			continue
+		case <-timer.C:
+		}
+		s.heartbeat()
+	}
+}
+
+// nextWait computes how long to sleep before the next heartbeat round:
+// the configured fraction of the soonest remaining TTL, jittered, or the
+// current retry backoff when the last round failed transport.
+func (s *Session) nextWait() (wait time.Duration, idle bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.leases) == 0 {
+		return 0, true
+	}
+	soonest := time.Duration(1<<63 - 1)
+	now := time.Now()
+	for _, l := range s.leases {
+		if r := l.ExpiresAt.Sub(now); r < soonest {
+			soonest = r
+		}
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	wait = time.Duration(float64(soonest) * s.cfg.HeartbeatFraction)
+	if s.backoff > 0 && s.backoff < wait {
+		wait = s.backoff
+	}
+	// Jitter de-phases fleets of sessions; floor keeps a pathological
+	// clock (or an already-expired lease) from spinning the loop hot.
+	wait = time.Duration(float64(wait) * (1 + s.cfg.Jitter*(2*rand.Float64()-1)))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait, false
+}
+
+// heartbeat renews every held lease in MaxBatch chunks.
+func (s *Session) heartbeat() {
+	s.mu.Lock()
+	items := make([]wire.Item, 0, len(s.leases))
+	for _, l := range s.leases {
+		items = append(items, wire.Item{Name: l.Name, Token: l.Token})
+	}
+	s.mu.Unlock()
+
+	type lostLease struct {
+		name int
+		err  error
+	}
+	var lost []lostLease
+	failed := false
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > s.cfg.MaxBatch {
+			chunk = chunk[:s.cfg.MaxBatch]
+		}
+		items = items[len(chunk):]
+
+		s.heartbeats.Add(1)
+		start := time.Now()
+		var results wire.BatchResults
+		err := s.post(context.Background(), "/v1/renew_batch",
+			wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk}, &results)
+		if s.cfg.OnHeartbeat != nil {
+			s.cfg.OnHeartbeat(len(chunk), time.Since(start), err)
+		}
+		if err != nil {
+			// Transport-level failure: every lease in the chunk is still
+			// plausibly held; retry sooner with backoff.
+			failed = true
+			continue
+		}
+		if len(results.Results) != len(chunk) {
+			failed = true
+			continue
+		}
+		s.mu.Lock()
+		for i, r := range results.Results {
+			name := chunk[i].Name
+			// Guard every map write with a token comparison against the
+			// snapshot this round actually sent: the caller may have
+			// released and re-acquired the same name while the request
+			// was in flight, and a verdict about the OLD token must not
+			// touch (least of all drop) the NEW lease.
+			l, ok := s.leases[name]
+			if !ok || l.Token != chunk[i].Token {
+				continue
+			}
+			if r.Lease != nil {
+				l.ExpiresAt = time.UnixMilli(r.Lease.ExpiresAtMs)
+				s.leases[name] = l
+				s.renewed.Add(1)
+				continue
+			}
+			rerr := wire.ErrFor(r.Code, r.Error)
+			if rerr == nil {
+				rerr = errors.New("leaseclient: renew_batch result carried neither lease nor error")
+			}
+			// The server refused this lease outright: it is lost. Drop it
+			// now so the next round doesn't re-present a dead token.
+			delete(s.leases, name)
+			s.lost.Add(1)
+			lost = append(lost, lostLease{name: name, err: rerr})
+		}
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	if failed {
+		s.retries.Add(1)
+		if s.backoff == 0 {
+			s.backoff = 50 * time.Millisecond
+		} else if s.backoff < 2*time.Second {
+			s.backoff *= 2
+		}
+	} else {
+		s.backoff = 0
+	}
+	s.mu.Unlock()
+
+	// Callbacks run without locks held so they may call back into the
+	// session.
+	if s.cfg.OnLost != nil {
+		for _, ll := range lost {
+			s.cfg.OnLost(ll.name, ll.err)
+		}
+	}
+}
+
+// wake nudges the heartbeat loop to re-plan its next wait.
+func (s *Session) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// statusError is a non-2xx response: the server received the request
+// and answered. Distinguishable (errors.As) from transport failures,
+// where the request may never have arrived at all.
+type statusError struct {
+	path   string
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("leaseclient: %s: HTTP %d: %s", e.path, e.status, e.msg)
+}
+
+// isGone reports whether err means the lease no longer exists server-
+// side — the benign outcome for a shutdown-time release, where losing
+// the race to the sweeper (or to an earlier lost-lease drop) is normal.
+func isGone(err error) bool {
+	return errors.Is(err, lease.ErrUnknownName) ||
+		errors.Is(err, lease.ErrExpired) ||
+		errors.Is(err, lease.ErrWrongToken)
+}
+
+// post sends one JSON request and decodes a 2xx response into out (when
+// non-nil). Non-2xx responses decode the wire error body and come back
+// as "<status>: <message>" errors; the typed per-item errors flow
+// through wire.ErrFor instead.
+func (s *Session) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("leaseclient: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.Target+path, bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("leaseclient: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("leaseclient: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var we wire.Error
+		msg := ""
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&we) == nil {
+			msg = we.Error
+		}
+		io.Copy(io.Discard, resp.Body)
+		return &statusError{path: path, status: resp.StatusCode, msg: msg}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("leaseclient: decode %s: %w", path, err)
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

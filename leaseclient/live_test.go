@@ -1,0 +1,54 @@
+package leaseclient
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSessionLiveServer runs a real Session against a live renamed
+// process — the CI smoke step starts one and points RENAMED_TARGET at
+// it, so the client is exercised against the actual served binary, not
+// just the in-process handler chain. Skipped when no target is set.
+func TestSessionLiveServer(t *testing.T) {
+	target := os.Getenv("RENAMED_TARGET")
+	if target == "" {
+		t.Skip("RENAMED_TARGET not set; the CI smoke step provides a live server")
+	}
+	var lost atomic.Int64
+	s, err := NewSession(Config{
+		Target: target,
+		Owner:  "live-smoke",
+		TTL:    time.Second,
+		OnLost: func(name int, err error) {
+			lost.Add(1)
+			t.Errorf("lost lease %d against live server: %v", name, err)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	if _, err := s.AcquireN(context.Background(), k); err != nil {
+		t.Fatalf("acquire against live server: %v", err)
+	}
+	// Survive several TTLs: only on-time batched renewals explain it.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Stats().Renewed < 3*k {
+		if time.Now().After(deadline) {
+			t.Fatalf("renewals stalled against live server: %+v", s.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := len(s.Leases()); got != k {
+		t.Fatalf("held = %d leases, want %d", got, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close against live server: %v", err)
+	}
+	if lost.Load() != 0 {
+		t.Fatalf("lost %d leases with on-time renewals", lost.Load())
+	}
+}
