@@ -49,7 +49,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	defer cancel()
 	var out bytes.Buffer
 	done := make(chan error, 1)
-	go func() { done <- serveGraceful(ctx, srv, ln, mgr, 2*time.Second, &out) }()
+	go func() { done <- serveGraceful(ctx, srv, ln, mgr, nil, 2*time.Second, &out) }()
 
 	// Prove the server is up and holding a lease before the shutdown.
 	resp, body := postJSON(t, base+"/v1/acquire", wire.AcquireRequest{Owner: "w"})
@@ -101,7 +101,7 @@ func TestServeGracefulDrainTimeout(t *testing.T) {
 	defer cancel()
 	var out bytes.Buffer
 	done := make(chan error, 1)
-	go func() { done <- serveGraceful(ctx, srv, ln, mgr, 50*time.Millisecond, &out) }()
+	go func() { done <- serveGraceful(ctx, srv, ln, mgr, nil, 50*time.Millisecond, &out) }()
 
 	go http.Get(base + "/hang")
 	<-entered // the request is in flight

@@ -12,6 +12,15 @@
 //
 //	renamed -addr :8077 -capacity 4096 -algo levelarray -ttl 30s
 //
+// With -data-dir the lease table is durable: every acquire/renew/release/
+// expiry is journaled (CRC-framed, append-only, fsync policy via -fsync)
+// and periodically compacted into a snapshot. A crashed or killed server
+// restarted from the same directory restores every unexpired lease with
+// its fencing token — heartbeating clients never notice — and new tokens
+// stay strictly above everything issued before the crash:
+//
+//	renamed -addr :8077 -capacity 4096 -data-dir /var/lib/renamed -fsync interval
+//
 // The namer can also be configured as a DSN through the renaming package's
 // driver registry, which exposes every algorithm tunable as a string:
 //
@@ -75,6 +84,7 @@ import (
 	renaming "repro"
 	"repro/internal/wire"
 	"repro/lease"
+	"repro/lease/persist"
 	"repro/leaseclient"
 )
 
@@ -96,6 +106,9 @@ func run(args []string, out io.Writer) error {
 		sweep    = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
 		seed     = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
 		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight requests (server mode)")
+		dataDir  = fs.String("data-dir", "", "durability directory (journal + snapshot); leases survive crash and restart. Empty = in-memory only (server mode)")
+		fsyncStr = fs.String("fsync", "interval", "journal fsync policy with -data-dir: always (durable before reply), interval (bounded loss), never (OS-paced)")
+		compact  = fs.Duration("compact-every", 0, "snapshot-compaction check cadence with -data-dir (0 = 1m, negative disables)")
 
 		load     = fs.Bool("load", false, "run as load generator instead of server")
 		target   = fs.String("target", "http://localhost:8077", "server base URL (load mode)")
@@ -158,19 +171,56 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 	// MaxLive pins the service to the namer's analyzed capacity: beyond it
 	// the probe guarantees lapse, so over-capacity acquires get 503 instead
 	// of silently degrading toward the backup scan.
-	mgr, err := lease.New(nm, lease.Config{TTL: *ttl, SweepInterval: *sweep, MaxLive: maxLive})
+	cfg := lease.Config{TTL: *ttl, SweepInterval: *sweep, MaxLive: maxLive}
+	var store *persist.Store
+	if *dataDir != "" {
+		policy, err := persist.ParsePolicy(*fsyncStr)
+		if err != nil {
+			return err
+		}
+		store, err = persist.Open(*dataDir, persist.Options{Fsync: policy, CompactEvery: *compact})
+		if err != nil {
+			return err
+		}
+		cfg.Observer = store
+	}
+	mgr, err := lease.New(nm, cfg)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
 	}
-	defer mgr.Close()
+	// On every exit path, shut the pair down in the durable order: with a
+	// store, quiesce WITHOUT draining (the disk keeps the leases for the
+	// next boot) and snapshot; without one, Close hands every name back.
+	// The graceful path below runs the same idempotent sequence earlier
+	// and surfaces its error; this backstop only fires on early error
+	// returns, where losing the (near-empty) store still deserves a line.
+	defer func() {
+		if serr := shutdownManager(mgr, store); serr != nil {
+			fmt.Fprintln(os.Stderr, "renamed: shutdown:", serr)
+		}
+	}()
+	if store != nil {
+		restored, lapsed, err := mgr.Restore(store.State())
+		if err != nil {
+			return fmt.Errorf("restore from %s: %w", *dataDir, err)
+		}
+		st := store.Stats()
+		fmt.Fprintf(out, "renamed: recovered %d leases (+%d lapsed while down) from %s: journal replayed %d records, %d torn bytes dropped, fsync %s\n",
+			restored, lapsed, *dataDir, st.ReplayedRecords, st.TruncatedBytes, *fsyncStr)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "renamed: serving %s (max live %d, namespace %d, ttl %v) on %s\n",
 		desc, maxLive, nm.Namespace(), *ttl, ln.Addr())
+	handler := newServer(mgr)
+	handler.store = store
 	srv := &http.Server{
-		Handler: newServer(mgr),
+		Handler: handler,
 		// Slow-client bounds: a peer that stalls mid-headers or idles
 		// forever must not pin goroutines and file descriptors while
 		// legitimate holders' leases expire.
@@ -202,19 +252,45 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 		fmt.Fprintln(os.Stderr, "renamed: second signal, exiting immediately")
 		os.Exit(1)
 	}()
-	return serveGraceful(ctx, srv, ln, mgr, *drain, out)
+	return serveGraceful(ctx, srv, ln, mgr, store, *drain, out)
+}
+
+// shutdownManager is the one exit sequence for a manager/store pair, on
+// every path (graceful drain, listener failure, boot error unwind).
+// With a store the leases must SURVIVE: the manager is quiesced without
+// draining (Shutdown), then the store writes its final snapshot — the
+// next boot replays nothing and restores everything. Without a store the
+// classic Close drains every lease back to the namer. Both halves are
+// idempotent, so the deferred call after an explicit one is a no-op.
+// The returned error is the store's: a failed final flush or snapshot
+// means the shutdown was LOSSY (an unflushed journal tail never reached
+// disk) and must not masquerade as a clean exit.
+func shutdownManager(mgr *lease.Manager, store *persist.Store) error {
+	if store == nil {
+		return mgr.Close()
+	}
+	mgr.Shutdown()
+	return store.Close()
 }
 
 // serveGraceful runs srv on ln until ctx is cancelled (a shutdown signal
 // in production), drains in-flight requests for up to drain, forces any
-// stragglers closed, and finally closes mgr.
-func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *lease.Manager, drain time.Duration, out io.Writer) error {
+// stragglers closed, and finally shuts the manager down — preserving the
+// lease table on disk when a store is attached, draining it otherwise.
+func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *lease.Manager, store *persist.Store, drain time.Duration, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {
 	case err := <-serveErr:
-		// The listener failed on its own; nothing left to drain.
-		mgr.Close()
+		// The listener failed on its own; nothing left to drain. A store
+		// failure here is just as lossy as on the signal path — say so
+		// even when the listener error wins the return value.
+		if serr := shutdownManager(mgr, store); serr != nil {
+			fmt.Fprintf(out, "renamed: durable shutdown FAILED: %v\n", serr)
+			if err == nil {
+				err = serr
+			}
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -226,8 +302,17 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 		// Drain window elapsed with requests still in flight: cut them.
 		srv.Close()
 	}
-	<-serveErr  // srv.Serve has returned http.ErrServerClosed
-	mgr.Close() // always nil: namer release failures go to Metrics.ReclaimFailed
+	<-serveErr // srv.Serve has returned http.ErrServerClosed
+	// In-flight requests are done: quiesce and (with a store) write the
+	// shutdown snapshot. A store error here means the final snapshot or
+	// flush failed — the shutdown was lossy, so it must fail loudly, not
+	// report "complete" and exit 0.
+	if serr := shutdownManager(mgr, store); serr != nil {
+		fmt.Fprintf(out, "renamed: durable shutdown FAILED: %v\n", serr)
+		if err == nil {
+			return fmt.Errorf("durable shutdown: %w", serr)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
@@ -276,6 +361,10 @@ type server struct {
 	mgr   *lease.Manager
 	mux   *http.ServeMux
 	start time.Time
+	// store is the optional durability layer; non-nil only with -data-dir.
+	// The handlers never touch it (the manager's observer hook does the
+	// journaling); it is here for the /debug/vars persistence gauges.
+	store *persist.Store
 
 	// request counters, exported through expvar-style /debug/vars.
 	requests atomic.Int64
@@ -327,6 +416,31 @@ func (s *server) varsHandler() http.Handler {
 	vars.Set("renamed_errors", expvar.Func(func() any { return s.errors.Load() }))
 	vars.Set("renamed_uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	vars.Set("renamed_lease", expvar.Func(func() any { return s.mgr.Metrics() }))
+	vars.Set("renamed_persist", expvar.Func(func() any {
+		// s.store is assigned after newServer returns (run() wires it),
+		// so the nil check must live here in the closure, not at
+		// registration time; null means "no -data-dir".
+		if s.store == nil {
+			return nil
+		}
+		st := s.store.Stats()
+		// Stats.Err is an error (not JSON-friendly); flatten it.
+		errStr := ""
+		if st.Err != nil {
+			errStr = st.Err.Error()
+		}
+		return map[string]any{
+			"recovered_leases": st.RecoveredLeases,
+			"replayed_records": st.ReplayedRecords,
+			"truncated_bytes":  st.TruncatedBytes,
+			"appends":          st.Appends,
+			"syncs":            st.Syncs,
+			"compactions":      st.Compactions,
+			"journal_records":  st.JournalRecords,
+			"live":             st.Live,
+			"err":              errStr,
+		}
+	}))
 	vars.Set("renamed_latency", expvar.Func(func() any {
 		return map[string]histSummary{
 			"acquire":       s.lat.acquire.summary(),
@@ -673,10 +787,19 @@ type sessionReport struct {
 	Duration time.Duration
 	Elapsed  time.Duration
 
-	Heartbeats int64 // renew_batch round trips
-	Renews     int64 // individual lease renewals across them
-	Retries    int64 // heartbeat rounds that hit transport failures
-	Lost       int64 // leases lost mid-run (must be 0 with on-time renewals)
+	Heartbeats int64  // renew_batch round trips
+	Renews     int64  // individual lease renewals across them
+	Retries    int64  // heartbeat rounds that hit transport failures
+	Lost       int64  // leases lost mid-run (must be 0 with on-time renewals)
+	MaxToken   uint64 // highest fencing token observed across the holders
+
+	// MaxToken is what makes the loadgen a crash-restart harness: run it
+	// with -sessions against a -data-dir server, kill -9 the server mid-
+	// run, restart it from the same directory, and the report must show
+	// lost 0 (every restored lease kept renewing on its old token, with
+	// retries absorbing the downtime) while any lease acquired AFTER the
+	// restart carries a token strictly above this watermark — the
+	// monotonic-fencing guarantee, checkable from outside with one curl.
 
 	ChurnAcquires int64
 	ChurnReleases int64
@@ -689,8 +812,8 @@ type sessionReport struct {
 func (r sessionReport) print(out io.Writer) {
 	fmt.Fprintf(out, "session load: %d holders over %d sessions, %d churners, configured %v, ran %v\n",
 		r.Holders, r.Sessions, r.Churners, r.Duration, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(out, "  heartbeats %d (renew_batch round trips)\n  renews     %d\n  retries    %d\n  lost       %d\n",
-		r.Heartbeats, r.Renews, r.Retries, r.Lost)
+	fmt.Fprintf(out, "  heartbeats %d (renew_batch round trips)\n  renews     %d\n  retries    %d\n  lost       %d\n  max token  %d\n",
+		r.Heartbeats, r.Renews, r.Retries, r.Lost, r.MaxToken)
 	fmt.Fprintf(out, "  churn      %d acquires, %d releases, %d failures\n",
 		r.ChurnAcquires, r.ChurnReleases, r.ChurnFailures)
 	fmt.Fprintf(out, "  renew_batch latency p50/p99 %v/%v\n", r.RenewLat.P50, r.RenewLat.P99)
@@ -809,11 +932,17 @@ func runSessionLoad(target string, holders, clients, churn int, leaseTTL, durati
 	// renewal throughput. Lost is tallied through OnLost; the
 	// per-session Stats cover the rest.
 	var heartbeats, renews, retries int64
+	var maxToken uint64
 	for _, s := range sessions {
 		st := s.Stats()
 		heartbeats += st.Heartbeats
 		renews += st.Renewed
 		retries += st.Retries
+		for _, l := range s.Leases() {
+			if l.Token > maxToken {
+				maxToken = l.Token
+			}
+		}
 	}
 	heartbeats -= baseHeartbeats
 	renews -= baseRenews
@@ -830,6 +959,7 @@ func runSessionLoad(target string, holders, clients, churn int, leaseTTL, durati
 		Renews:        renews,
 		Retries:       retries,
 		Lost:          lost.Load(),
+		MaxToken:      maxToken,
 		ChurnAcquires: churnAcquires.Load(),
 		ChurnReleases: churnReleases.Load(),
 		ChurnFailures: churnFailures.Load(),

@@ -15,6 +15,7 @@ import (
 //     context's error, so errors.Is(err, context.Canceled) (or
 //     DeadlineExceeded) also reports the cause.
 //   - ErrNotHeld — Release of a name that is not currently assigned.
+//   - ErrNameHeld — Adopt of a name that already has a holder.
 //   - ErrOneShot — Release on an inherently one-shot namer (moiranderson.go).
 //   - ErrBadConfig — a constructor option, argument or DSN parameter was
 //     rejected; the concrete error is a *ConfigError carrying the namer,
@@ -28,6 +29,10 @@ var (
 	// ErrNotHeld is returned by Release when the released name is not
 	// currently assigned.
 	ErrNotHeld = errors.New("renaming: name not currently held")
+
+	// ErrNameHeld is returned by Adopt when the adopted name is already
+	// assigned — the recovery-time dual of ErrNotHeld.
+	ErrNameHeld = errors.New("renaming: name already held")
 
 	// ErrCancelled is returned by Acquire and AcquireN when the context
 	// ends before a name is secured. The returned error wraps both

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+	"repro/lease/persist"
+)
+
+// runF10 measures what durability costs and what recovery buys: the
+// journal fsync policy axis (none / never / interval / always) crossed
+// with a churn workload over a standing lease population, ending in a
+// simulated crash (no flush, no snapshot) and a timed recovery —
+// journal replay, snapshot load and Manager.Restore. "none" is the
+// journaling-disabled baseline the <5% hot-path budget is measured
+// against; "always" pays one fsync per operation and is the price of
+// never forgetting a granted token.
+func runF10(cfg RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "F10",
+		Title: "Durable lease table: fsync policy x churn x recovery time",
+		Claim: "journal+snapshot recovery restores every unexpired lease with its token; interval fsync keeps the hot path within a few % of no journaling",
+		Columns: []string{
+			"fsync", "standing", "churn ops", "ns/op", "vs none", "journal recs", "recover ms", "recovered",
+		},
+	}
+	type workload struct{ standing, cycles int }
+	loads := []workload{{1 << 10, 4096}, {1 << 14, 4096}}
+	if cfg.Quick {
+		loads = []workload{{1 << 8, 512}}
+	}
+	policies := []struct {
+		name   string
+		policy persist.Policy
+		use    bool
+	}{
+		{"none", 0, false},
+		{"never", persist.FsyncNever, true},
+		{"interval", persist.FsyncInterval, true},
+		{"always", persist.FsyncAlways, true},
+	}
+	cell := 0
+	for _, w := range loads {
+		var baseNs float64
+		for _, p := range policies {
+			nsPerOp, recs, recoverMs, recovered, err := churnCrashRecover(w.standing, w.cycles, p.use, p.policy, seedAt(cfg.Seed, cell))
+			cell++
+			if err != nil {
+				return nil, err
+			}
+			ratio := "-"
+			if p.name == "none" {
+				baseNs = nsPerOp
+			} else if baseNs > 0 {
+				ratio = fmt.Sprintf("%.2fx", nsPerOp/baseNs)
+			}
+			recMs := "-"
+			if p.use {
+				recMs = fmt.Sprintf("%.1f", recoverMs)
+			}
+			t.AddRow(p.name, w.standing, w.cycles, nsPerOp, ratio, recs, recMs, recovered)
+		}
+	}
+	t.AddNote("ns/op is wall time per acquire+release churn cycle (sequential, one goroutine) with `standing` leases held throughout")
+	t.AddNote("crash = store abandoned without flush or snapshot (persist.Store.Crash); recover ms = persist.Open (replay) + lease.Manager.Restore")
+	t.AddNote("always fsyncs per record (durable before the grant returns); interval/never lose at most the flush window / OS cache on kill -9")
+	t.AddNote("recovered counts leases alive after recovery: the standing population, plus (interval/never only) up to a flush window of churn leases whose release record was lost — they sit ownerless until their TTL reaps them; under always, exactly the standing set")
+	return t, nil
+}
+
+// churnCrashRecover runs the F10 cell: build a (possibly journaled)
+// manager, hold `standing` leases, run `cycles` acquire+release churn
+// cycles, crash, and — when journaled — time the recovery.
+func churnCrashRecover(standing, cycles int, journaled bool, policy persist.Policy, seed uint64) (nsPerOp float64, journalRecs int64, recoverMs float64, recovered int, err error) {
+	newNamer := func() (renaming.Namer, error) {
+		return renaming.Open(fmt.Sprintf("levelarray?n=%d&seed=%d", standing+8, seed))
+	}
+	nm, err := newNamer()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	lcfg := lease.Config{TTL: time.Hour, SweepInterval: -1, MaxLive: standing + 8}
+	var store *persist.Store
+	var dir string
+	if journaled {
+		dir, err = os.MkdirTemp("", "f10-")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		// Background compaction off: the cell measures pure journal cost
+		// and pure replay cost, not snapshot scheduling.
+		store, err = persist.Open(dir, persist.Options{Fsync: policy, CompactEvery: -1})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		lcfg.Observer = store
+	}
+	mgr, err := lease.New(nm, lcfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for i := 0; i < standing; i++ {
+		if _, err := mgr.Acquire("f10-standing", 0, nil); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		l, err := mgr.Acquire("f10-churn", 0, nil)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := mgr.Release(l.Name, l.Token); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	nsPerOp = float64(time.Since(start).Nanoseconds()) / float64(cycles)
+	if !journaled {
+		mgr.Close()
+		return nsPerOp, 0, 0, standing, nil
+	}
+	journalRecs = store.Stats().JournalRecords
+	// Crash: manager abandoned (no Close — that would drain the table),
+	// store dropped without flush or snapshot.
+	mgr.Shutdown()
+	if err := store.Crash(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	t0 := time.Now()
+	store2, err := persist.Open(dir, persist.Options{Fsync: policy, CompactEvery: -1})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	nm2, err := newNamer()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	mgr2, err := lease.New(nm2, lease.Config{TTL: time.Hour, SweepInterval: -1, MaxLive: standing + 8, Observer: store2})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	restored, _, err := mgr2.Restore(store2.State())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	recoverMs = float64(time.Since(t0).Microseconds()) / 1e3
+	mgr2.Shutdown()
+	if err := store2.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return nsPerOp, journalRecs, recoverMs, restored, nil
+}

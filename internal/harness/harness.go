@@ -154,6 +154,7 @@ func Experiments() []Experiment {
 		{ID: "F7", Title: "Long-lived churn: LevelArray vs one-shot namers", Run: runF7},
 		{ID: "F8", Title: "Sharded lease manager throughput (shards x namer)", Run: runF8},
 		{ID: "F9", Title: "Batched renewal hot path (holders x heartbeat fraction x batch)", Run: runF9},
+		{ID: "F10", Title: "Durable lease table (fsync policy x churn x recovery)", Run: runF10},
 	}
 }
 

@@ -101,10 +101,11 @@ func (m *Manager) planStripes(name func(i int) int, n int) stripePlan {
 // error matching renaming.ErrCancelled — items already visited keep
 // their real outcomes, so a session can still trust what it learned.
 func (m *Manager) RenewBatch(ctx context.Context, items []RenewItem, ttl time.Duration) ([]RenewResult, error) {
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return nil, ErrClosed
 	}
+	defer m.exitOp()
 	if err := ctx.Err(); err != nil {
 		m.rejected.Add(1)
 		return nil, fmt.Errorf("lease: renew batch: %w: %w", renaming.ErrCancelled, err)
@@ -141,10 +142,14 @@ func (m *Manager) RenewBatch(ctx context.Context, items []RenewItem, ttl time.Du
 			failRest(plan.restFrom(s), ErrClosed)
 			break
 		}
+		var lapsed []int
 		for _, i := range group {
-			l, err := m.renewLocked(sh, items[i].Name, items[i].Token, ttl, now)
+			l, expired, err := m.renewLocked(sh, items[i].Name, items[i].Token, ttl, now)
 			if err != nil {
 				results[i].Err = err
+				if expired {
+					lapsed = append(lapsed, items[i].Name)
+				}
 				continue
 			}
 			results[i].Lease = l.clone()
@@ -152,6 +157,9 @@ func (m *Manager) RenewBatch(ctx context.Context, items []RenewItem, ttl time.Du
 		}
 		sh.maybeCompact()
 		sh.mu.Unlock()
+		// Lapsed leases were dropped under the lock; their names go back
+		// to the namer out here so a slow Release never stalls the stripe.
+		m.releaseNames(lapsed)
 	}
 	m.renewed.Add(renewed)
 	return results, nil
@@ -163,10 +171,11 @@ func (m *Manager) RenewBatch(ctx context.Context, items []RenewItem, ttl time.Du
 // or a racing Close between stripe visits marks only the unprocessed
 // remainder — names already handed back stay handed back.
 func (m *Manager) ReleaseBatch(ctx context.Context, items []ReleaseItem) ([]ReleaseResult, error) {
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return nil, ErrClosed
 	}
+	defer m.exitOp()
 	if err := ctx.Err(); err != nil {
 		m.rejected.Add(1)
 		return nil, fmt.Errorf("lease: release batch: %w: %w", renaming.ErrCancelled, err)
@@ -199,10 +208,29 @@ func (m *Manager) ReleaseBatch(ctx context.Context, items []ReleaseItem) ([]Rele
 			failRest(plan.restFrom(s), ErrClosed)
 			break
 		}
+		// handbacks are the names this stripe visit removed from the table;
+		// the namer gets them back only after the stripe unlocks. For a
+		// successful release (expired == false) the namer's verdict is the
+		// item's outcome, matching Release.
+		type handback struct {
+			idx     int
+			expired bool
+		}
+		var handbacks []handback
 		for _, i := range group {
-			results[i].Err = m.releaseLocked(sh, items[i].Name, items[i].Token, now)
+			hb, err := m.releaseLocked(sh, items[i].Name, items[i].Token, now)
+			results[i].Err = err
+			if hb {
+				handbacks = append(handbacks, handback{idx: i, expired: err != nil})
+			}
 		}
 		sh.mu.Unlock()
+		for _, hb := range handbacks {
+			rerr := m.releaseName(items[hb.idx].Name)
+			if !hb.expired && rerr != nil {
+				results[hb.idx].Err = rerr
+			}
+		}
 	}
 	return results, nil
 }

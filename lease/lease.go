@@ -114,8 +114,37 @@ type Config struct {
 	// up to a power of two. Mostly a benchmarking knob: Shards: 1
 	// reproduces the pre-sharding single-mutex manager.
 	Shards int
+	// Observer, if non-nil, receives every lease-table transition (see
+	// Observer). The persist.Store journal implements it for crash
+	// recovery; nil costs one predictable branch per operation.
+	Observer Observer
 	// Now is the clock; defaults to time.Now. Injectable for tests.
 	Now func() time.Time
+}
+
+// Observer receives every state transition of the lease table. Callbacks
+// are invoked synchronously under the owning stripe's lock, so the event
+// order per name exactly matches table order: an acquire is always
+// observed before any renewal, release or expiry of the lease it created,
+// and with a write-ahead implementation a grant is durable before the
+// caller sees it. Implementations must therefore be fast, must tolerate
+// concurrent calls (different stripes journal in parallel), and must not
+// call back into the Manager. The persist package's Store is the intended
+// implementation.
+type Observer interface {
+	// ObserveAcquire fires after a lease is inserted into the table. The
+	// lease and its Meta map must be treated as read-only.
+	ObserveAcquire(l Lease)
+	// ObserveRenew fires after a successful renewal extends name's lease
+	// (held with token) to expiresAt.
+	ObserveRenew(name int, token uint64, expiresAt time.Time)
+	// ObserveRelease fires after a voluntary release removes a lease —
+	// including the drain in Close.
+	ObserveRelease(name int, token uint64)
+	// ObserveExpire fires after an expired lease is reclaimed (by a sweep
+	// or lazily on access), and from Restore for leases that lapsed while
+	// the service was down.
+	ObserveExpire(name int, token uint64)
 }
 
 func (c *Config) applyDefaults() {
@@ -124,6 +153,14 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxTTL <= 0 {
 		c.MaxTTL = 10 * c.TTL
+	}
+	if c.MaxTTL < c.TTL {
+		// An explicit MaxTTL below the (defaulted) TTL would let
+		// default-duration acquires (ttl <= 0 resolves to cfg.TTL) exceed
+		// the configured ceiling while explicit requests were clamped
+		// under it. Normalize by raising the ceiling to the default: the
+		// default lease class is always grantable.
+		c.MaxTTL = c.TTL
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = c.TTL / 4
@@ -170,6 +207,11 @@ type Manager struct {
 	mask   int
 
 	closed atomic.Bool
+	// inflight counts operations that may touch the table or observer;
+	// Shutdown drains it (see enterOp) so no record can chase a closed
+	// store. Every mutating public op pays one Add pair — consistent
+	// with the live/rejected counters already on those paths.
+	inflight atomic.Int64
 
 	// Single-flight state for the capacity-pressure sweep in reserve: at
 	// most one reserve-path sweepAll runs at a time, concurrent losers
@@ -322,10 +364,11 @@ func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]strin
 // renaming.ErrCancelled (wrapping ctx.Err()), the capacity reservation is
 // returned, and no name or TAS slot stays held.
 func (m *Manager) AcquireCtx(ctx context.Context, owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
+	defer m.exitOp()
 	if err := m.reserve(1); err != nil {
 		m.rejected.Add(1)
 		return Lease{}, err
@@ -359,6 +402,9 @@ func (m *Manager) AcquireCtx(ctx context.Context, owner string, ttl time.Duratio
 	}
 	sh.leases[name] = l
 	sh.expiries.push(heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.ObserveAcquire(l)
+	}
 	sh.mu.Unlock()
 	m.acquired.Add(1)
 	return l.clone(), nil
@@ -375,10 +421,11 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 	if k < 1 {
 		return nil, fmt.Errorf("lease: AcquireBatch(%d): %w", k, renaming.ErrBadConfig)
 	}
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return nil, ErrClosed
 	}
+	defer m.exitOp()
 	// Reject impossible batch sizes before touching any shared state: a k
 	// beyond the namespace can never complete, and a k beyond MaxLive must
 	// not transiently inflate the live counter — reserve(k) adds k before
@@ -433,12 +480,37 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 		sh := &m.shards[idx]
 		sh.mu.Lock()
 		if m.closed.Load() {
-			// Raced with Close. Leases inserted into earlier stripes are
-			// owned by the table now — Close's drain hands their names
-			// back and returns their capacity units. Everything not yet
-			// inserted is still ours to unwind: release those names and
-			// return their share of the reservation.
+			// Raced with Close or Shutdown. Nothing may stay half-granted:
+			// the caller is told ErrClosed, so every lease this batch
+			// already inserted into earlier stripes must come back OUT of
+			// the table — under Shutdown there is no drain to return it,
+			// and leaving it would persist a durable ghost lease whose
+			// owner thinks the acquisition failed. Removal is token-
+			// guarded: a lease Close's concurrent drain already removed
+			// (and whose name it already handed back) is skipped.
 			sh.mu.Unlock()
+			var removed []int
+			for _, ridx := range order[:pos] {
+				ish := &m.shards[ridx]
+				ish.mu.Lock()
+				for _, l := range buckets[ridx] {
+					cur, ok := ish.leases[l.Name]
+					if !ok || cur.Token != l.Token {
+						continue // Close's drain got here first
+					}
+					delete(ish.leases, l.Name)
+					if m.cfg.Observer != nil {
+						m.cfg.Observer.ObserveRelease(l.Name, l.Token)
+					}
+					removed = append(removed, l.Name)
+				}
+				ish.mu.Unlock()
+			}
+			// Hand back outside the stripe locks — exactly the names WE
+			// removed (the token check above keeps us off anything Close's
+			// drain already returned).
+			m.releaseNames(removed)
+			// Everything not yet inserted is still ours outright.
 			remaining := 0
 			for _, ridx := range order[pos:] {
 				for _, l := range buckets[ridx] {
@@ -446,13 +518,16 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 					remaining++
 				}
 			}
-			m.live.Add(-int64(remaining))
+			m.live.Add(-int64(len(removed) + remaining))
 			m.rejected.Add(1)
 			return nil, ErrClosed
 		}
 		for _, l := range buckets[idx] {
 			sh.leases[l.Name] = l
 			sh.expiries.push(heapEntry{at: l.ExpiresAt, name: l.Name, token: l.Token})
+			if m.cfg.Observer != nil {
+				m.cfg.Observer.ObserveAcquire(l)
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -470,25 +545,34 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 // leases should prefer RenewBatch, which pays one lock visit per involved
 // stripe instead of one per lease.
 func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error) {
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
+	defer m.exitOp()
 	sh := m.shard(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Re-check under the shard lock: a renewal racing Close must not
 	// succeed after Close has started, or the caller would hold a
 	// "renewed" lease on a name the drain is about to hand back.
 	if m.closed.Load() {
+		sh.mu.Unlock()
 		m.rejected.Add(1)
 		return Lease{}, ErrClosed
 	}
-	l, err := m.renewLocked(sh, name, token, ttl, m.cfg.Now())
+	l, expired, err := m.renewLocked(sh, name, token, ttl, m.cfg.Now())
+	if err == nil {
+		sh.maybeCompact()
+	}
+	sh.mu.Unlock()
+	if expired {
+		// The lapsed lease was dropped under the lock; the namer hand-back
+		// happens out here, where a slow Release cannot stall the stripe.
+		m.releaseName(name)
+	}
 	if err != nil {
 		return Lease{}, err
 	}
-	sh.maybeCompact()
 	m.renewed.Add(1)
 	return l.clone(), nil
 }
@@ -496,26 +580,32 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 // renewLocked applies one renewal against sh — the shared core of Renew
 // and RenewBatch. Refusals settle the rejected counter here; successes
 // leave the renewed counter (and compaction) to the caller, which batches
-// them. Callers hold sh.mu and name routes to sh.
-func (m *Manager) renewLocked(sh *shard, name int, token uint64, ttl time.Duration, now time.Time) (Lease, error) {
+// them. When the lease lapsed, it is dropped from the table and expired
+// reports true: the caller MUST hand name back to the namer
+// (m.releaseName) after unlocking the stripe. Callers hold sh.mu and name
+// routes to sh.
+func (m *Manager) renewLocked(sh *shard, name int, token uint64, ttl time.Duration, now time.Time) (l Lease, expired bool, err error) {
 	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
-		return Lease{}, ErrUnknownName
+		return Lease{}, false, ErrUnknownName
 	}
 	if l.Token != token {
 		m.rejected.Add(1)
-		return Lease{}, ErrWrongToken
+		return Lease{}, false, ErrWrongToken
 	}
 	if now.After(l.ExpiresAt) {
-		m.reclaimLocked(sh, name)
+		m.expireLocked(sh, name, l.Token)
 		m.rejected.Add(1)
-		return Lease{}, ErrExpired
+		return Lease{}, true, ErrExpired
 	}
 	l.ExpiresAt = now.Add(m.clampTTL(ttl))
 	sh.leases[name] = l
 	sh.expiries.push(heapEntry{at: l.ExpiresAt, name: name, token: l.Token})
-	return l, nil
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.ObserveRenew(name, token, l.ExpiresAt)
+	}
+	return l, false, nil
 }
 
 // Release ends the lease identified by (name, token) and returns the name
@@ -523,62 +613,97 @@ func (m *Manager) renewLocked(sh *shard, name int, token uint64, ttl time.Durati
 // ErrExpired — the holder already lost the name — and reclaims it
 // immediately, so the outcome does not depend on sweeper timing.
 func (m *Manager) Release(name int, token uint64) error {
-	if m.closed.Load() {
+	if !m.enterOp() {
 		m.rejected.Add(1)
 		return ErrClosed
 	}
+	defer m.exitOp()
 	sh := m.shard(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if m.closed.Load() {
+		sh.mu.Unlock()
 		m.rejected.Add(1)
 		return ErrClosed
 	}
-	return m.releaseLocked(sh, name, token, m.cfg.Now())
+	handback, err := m.releaseLocked(sh, name, token, m.cfg.Now())
+	sh.mu.Unlock()
+	if !handback {
+		return err
+	}
+	rerr := m.releaseName(name)
+	if err != nil {
+		// Expired-lease reclaim: the holder already lost the name, so the
+		// namer's verdict on the hand-back is only counted (ReclaimFailed),
+		// not surfaced.
+		return err
+	}
+	return rerr
 }
 
 // releaseLocked applies one release against sh — the shared core of
-// Release and ReleaseBatch. Refusals settle the rejected counter; a
-// successful removal still propagates the namer's Release error (e.g.
-// ErrOneShot) after counting it in ReclaimFailed. Callers hold sh.mu and
-// name routes to sh.
-func (m *Manager) releaseLocked(sh *shard, name int, token uint64, now time.Time) error {
+// Release and ReleaseBatch. Refusals settle the rejected counter. The
+// namer hand-back itself happens OUTSIDE the stripe lock: when handback
+// reports true the caller must invoke m.releaseName(name) after
+// unlocking — with err == nil that hand-back is the successful release,
+// whose namer error (e.g. ErrOneShot) still propagates to the caller
+// after counting in ReclaimFailed; with err == ErrExpired it is the
+// reclaim of a lapsed lease and its error is only counted. Callers hold
+// sh.mu and name routes to sh.
+func (m *Manager) releaseLocked(sh *shard, name int, token uint64, now time.Time) (handback bool, err error) {
 	l, ok := sh.leases[name]
 	if !ok {
 		m.rejected.Add(1)
-		return ErrUnknownName
+		return false, ErrUnknownName
 	}
 	if l.Token != token {
 		m.rejected.Add(1)
-		return ErrWrongToken
+		return false, ErrWrongToken
 	}
 	if now.After(l.ExpiresAt) {
-		m.reclaimLocked(sh, name)
+		m.expireLocked(sh, name, l.Token)
 		m.rejected.Add(1)
-		return ErrExpired
+		return true, ErrExpired
 	}
 	delete(sh.leases, name)
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.ObserveRelease(name, token)
+	}
 	sh.maybeCompact()
 	m.live.Add(-1)
 	m.released.Add(1)
-	return m.releaseName(name)
+	return true, nil
 }
 
 // Get returns the live lease for name, reclaiming it first if it already
 // expired (in which case ok is false).
 func (m *Manager) Get(name int) (l Lease, ok bool) {
+	// Get still reads on a closed manager, but only an open, registered
+	// Get may reclaim: a post-Shutdown expire record would chase a
+	// closed store, and the lapsed lease is the next boot's problem.
+	mayReclaim := m.enterOp()
+	if mayReclaim {
+		defer m.exitOp()
+	}
 	sh := m.shard(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	l, ok = sh.leases[name]
 	if !ok {
+		sh.mu.Unlock()
 		return Lease{}, false
 	}
 	if m.cfg.Now().After(l.ExpiresAt) {
-		m.reclaimLocked(sh, name)
+		if !mayReclaim {
+			sh.mu.Unlock()
+			return Lease{}, false
+		}
+		m.expireLocked(sh, name, l.Token)
+		sh.mu.Unlock()
+		m.releaseName(name)
 		return Lease{}, false
 	}
-	return l.clone(), true
+	l = l.clone()
+	sh.mu.Unlock()
+	return l, true
 }
 
 // Leases snapshots all live (unexpired) leases, ordered by name. The
@@ -609,17 +734,29 @@ func (m *Manager) Leases() []Lease {
 // shard — it pops each shard's expiry heap until the head is unexpired —
 // rather than a scan of every live lease.
 func (m *Manager) SweepOnce() int {
+	if !m.enterOp() {
+		return 0
+	}
+	defer m.exitOp()
 	return m.sweepAll(m.cfg.Now())
 }
 
 // sweepAll sweeps every shard, locking each in turn (never two at once).
+// Expired names are collected under each stripe's lock but handed back to
+// the namer only after that stripe is unlocked: one sweep over O(expired)
+// leases must not hold a shard hostage across O(expired) namer.Release
+// calls, which can be arbitrarily slow (and, with a journaling observer
+// gone synchronous, disk-speed).
 func (m *Manager) sweepAll(now time.Time) int {
 	reclaimed := 0
+	var expired []int
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		reclaimed += m.sweepLocked(sh, now)
+		expired = m.sweepLocked(sh, now, expired[:0])
 		sh.mu.Unlock()
+		m.releaseNames(expired)
+		reclaimed += len(expired)
 	}
 	return reclaimed
 }
@@ -667,18 +804,180 @@ func (m *Manager) Close() error {
 	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	var names []int
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		for name := range sh.leases {
+		names = names[:0]
+		for name, l := range sh.leases {
 			delete(sh.leases, name)
 			m.live.Add(-1)
-			m.releaseName(name)
+			if m.cfg.Observer != nil {
+				m.cfg.Observer.ObserveRelease(name, l.Token)
+			}
+			names = append(names, name)
 		}
 		sh.expiries = nil
 		sh.mu.Unlock()
+		// Namer hand-backs run outside the stripe lock, like every other
+		// reclaim path.
+		m.releaseNames(names)
 	}
 	close(m.done)
 	m.wg.Wait()
 	return nil
+}
+
+// Shutdown quiesces the manager for a durable restart: it stops the
+// sweeper and rejects all further operations like Close, but does NOT
+// release live leases back to the namer and records no releases with the
+// observer — on disk the lease table keeps describing the held names, and
+// the next process rebuilds them via Restore. Without a persistence layer
+// Shutdown just leaks the names until process exit; use Close for a
+// terminal shutdown. Shutdown and Close are mutually idempotent
+// (whichever wins the closed transition defines the semantics).
+//
+// With an Observer attached, Shutdown is additionally a quiescence
+// barrier: it flips closed and then drains the in-flight operation
+// counter, so a grant (or a batch walk, including its unwind) that
+// registered before the flip finishes completely — insert, journal
+// records and all — before Shutdown returns, and everything arriving
+// after the flip backs out at enterOp. A stripe-lock sweep alone would
+// not give this: a multi-stripe batch BETWEEN stripes holds no lock yet
+// still owes the journal its unwind records. This barrier is what makes
+// "Shutdown, then store.Close" lose nothing. (Observer-less managers
+// skip the registration — there is nothing downstream to lose a record
+// to — so there a straggler may still brush the in-memory table after
+// Shutdown returns.)
+func (m *Manager) Shutdown() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for i := 0; m.inflight.Load() != 0; i++ {
+		if i < 1000 {
+			runtime.Gosched()
+		} else {
+			// An in-flight acquire can legitimately sit in a long namer
+			// probe sequence; stop burning the core while it finishes.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	close(m.done)
+	m.wg.Wait()
+	return nil
+}
+
+// enterOp registers an operation against Shutdown's quiescence barrier
+// and reports whether the manager is still open. The counter increments
+// BEFORE the closed check, so the flip-then-drain in Shutdown cannot
+// miss anyone: an operation either sees closed here and backs out, or
+// its registration is visible to the drain and Shutdown waits for it.
+//
+// Without an observer there is nothing downstream a straggler could
+// lose a record to — the barrier exists so "Shutdown, then store.Close"
+// is loss-free — so the journaling-disabled hot path skips the counter
+// entirely and pays only the closed load it always paid.
+func (m *Manager) enterOp() bool {
+	if m.cfg.Observer == nil {
+		return !m.closed.Load()
+	}
+	m.inflight.Add(1)
+	if m.closed.Load() {
+		m.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (m *Manager) exitOp() {
+	if m.cfg.Observer == nil {
+		return
+	}
+	m.inflight.Add(-1)
+}
+
+// Adopter is the namer surface Restore needs: re-seizing the exact names
+// the restored leases hold, so a fresh Acquire cannot be granted a name
+// that already has a live holder. Every namer constructed by the renaming
+// package implements it.
+type Adopter interface {
+	// Adopt marks name as held, as if acquired.
+	Adopt(name int) error
+}
+
+// RestoreState is recovered durable state handed to Restore — typically
+// persist.Store.State() after snapshot load and journal replay.
+type RestoreState struct {
+	// Leases are the leases live as of the crash or shutdown.
+	Leases []Lease
+	// Token is the fencing-token watermark: the highest token durably
+	// recorded before the restart. The manager's counter resumes strictly
+	// above it (and above every restored lease's token), so tokens minted
+	// after restart never collide with pre-crash tokens — a stale
+	// pre-crash holder can never outrank a post-crash one.
+	Token uint64
+}
+
+// Restore rebuilds the lease table from recovered state: every still-
+// unexpired lease is re-inserted into its stripe with its original
+// fencing token, its deadline is pushed on the stripe's expiry heap, the
+// live counter is re-established, its name is re-seized in the namer via
+// Adopt, and the fencing-token counter is advanced past the recovered
+// watermark. Leases whose TTL lapsed while the service was down are not
+// restored; they count as expired (Metrics.Expired, ObserveExpire) and
+// their names stay free in the namer.
+//
+// Restore must run on a fresh manager — after New, before any grant; a
+// manager that already minted tokens or holds leases rejects it. The
+// restored population may exceed MaxLive (e.g. after a capacity cut
+// across the restart): existing holders are honoured, and new acquires
+// stay rejected until attrition brings the count back under the cap. An
+// Adopt failure aborts the restore mid-way with the manager in a partial
+// state; treat that as fatal and discard the manager.
+func (m *Manager) Restore(st RestoreState) (restored, expired int, err error) {
+	if m.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if m.token.Load() != 0 || m.live.Load() != 0 {
+		return 0, 0, errors.New("lease: Restore on a manager that already granted leases")
+	}
+	adopter, ok := m.namer.(Adopter)
+	if !ok && len(st.Leases) > 0 {
+		return 0, 0, fmt.Errorf("lease: namer %T cannot adopt restored names", m.namer)
+	}
+	now := m.cfg.Now()
+	watermark := st.Token
+	for _, l := range st.Leases {
+		if l.Token > watermark {
+			watermark = l.Token
+		}
+		if now.After(l.ExpiresAt) {
+			// Lapsed while the service was down: not restored, never
+			// adopted (the name stays free in the namer), and the observer
+			// hears the expiry so the durable state drops it too.
+			m.expired.Add(1)
+			if m.cfg.Observer != nil {
+				m.cfg.Observer.ObserveExpire(l.Name, l.Token)
+			}
+			expired++
+			continue
+		}
+		if aerr := adopter.Adopt(l.Name); aerr != nil {
+			return restored, expired, fmt.Errorf("lease: restore name %d: %w", l.Name, aerr)
+		}
+		l = l.clone()
+		sh := m.shard(l.Name)
+		sh.mu.Lock()
+		sh.leases[l.Name] = l
+		sh.expiries.push(heapEntry{at: l.ExpiresAt, name: l.Name, token: l.Token})
+		sh.mu.Unlock()
+		m.live.Add(1)
+		restored++
+	}
+	// Monotonic fencing across restart: resume the counter strictly above
+	// everything ever durably issued.
+	if watermark > m.token.Load() {
+		m.token.Store(watermark)
+	}
+	return restored, expired, nil
 }

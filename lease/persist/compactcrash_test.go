@@ -1,0 +1,171 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/lease"
+)
+
+// writeJournalFile crafts a raw journal of records at path.
+func writeJournalFile(t *testing.T, path string, recs []record) {
+	t.Helper()
+	buf := []byte(journalMagic)
+	var payload []byte
+	for _, r := range recs {
+		payload = appendPayload(payload[:0], r)
+		buf = appendFrame(buf, payload)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleJournalOverNewerSnapshot is the regression test for the
+// compaction crash-window inversion: a crash between the snapshot
+// rename and the journal reset used to leave a NEWER snapshot with an
+// OLDER journal, and replaying acquire(X,t5)+release(X,t5) over a
+// snapshot holding X:t9 deleted the durably snapshotted lease. The
+// token guard in applyLocked (an acquire never downgrades a name to an
+// older holder) plus the rotation protocol must keep X:t9 alive.
+func TestStaleJournalOverNewerSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// The newer snapshot: X (name 7) held with token 9.
+	mirror := map[int]lease.Lease{7: {Name: 7, Token: 9, Owner: "new", ExpiresAt: at(300)}}
+	if err := writeSnapshot(dir, mirror, 9); err != nil {
+		t.Fatal(err)
+	}
+	// The older journal: X's previous incarnation, acquired and released
+	// with token 5 — records the snapshot already covers.
+	writeJournalFile(t, filepath.Join(dir, journalName), []record{
+		{op: opAcquire, name: 7, token: 5, expiresAt: at(100).UnixNano(), owner: "old"},
+		{op: opRelease, name: 7, token: 5},
+	})
+	s, err := Open(dir, Options{Fsync: FsyncAlways, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.State()
+	wantLeases(t, st, map[int]uint64{7: 9})
+	if st.Leases[0].Owner != "new" {
+		t.Fatalf("stale acquire overwrote the snapshotted lease: owner %q", st.Leases[0].Owner)
+	}
+	if st.Token != 9 {
+		t.Fatalf("token watermark %d, want 9", st.Token)
+	}
+}
+
+// TestPrevJournalReplayedBeforeActive pins recovery from a crash inside
+// the rotation window: prev (older records) must fold in before the
+// active journal, and the union must survive.
+func TestPrevJournalReplayedBeforeActive(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshot(dir, map[int]lease.Lease{1: {Name: 1, Token: 1, ExpiresAt: at(100)}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// prev: records rotated aside by the crashed compaction — B acquired,
+	// then re-acquired (release lost? no: released and re-acquired).
+	writeJournalFile(t, filepath.Join(dir, journalPrevName), []record{
+		{op: opAcquire, name: 2, token: 2, expiresAt: at(100).UnixNano()},
+		{op: opRelease, name: 2, token: 2},
+		{op: opAcquire, name: 2, token: 3, expiresAt: at(200).UnixNano()},
+	})
+	// active: the fresh journal started after rotation.
+	writeJournalFile(t, filepath.Join(dir, journalName), []record{
+		{op: opAcquire, name: 4, token: 4, expiresAt: at(100).UnixNano()},
+		{op: opRenew, name: 2, token: 3, expiresAt: at(400).UnixNano()},
+	})
+	s, err := Open(dir, Options{Fsync: FsyncAlways, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.State()
+	wantLeases(t, st, map[int]uint64{1: 1, 2: 3, 4: 4})
+	for _, l := range st.Leases {
+		if l.Name == 2 && !l.ExpiresAt.Equal(at(400)) {
+			t.Fatalf("active-journal renew not applied over prev acquire: expiry %v", l.ExpiresAt)
+		}
+	}
+	if got := s.Stats().ReplayedRecords; got != 5 {
+		t.Fatalf("replayed %d records, want 5 (3 prev + 2 active)", got)
+	}
+	// Boot compaction must have retired the prev file and restarted the
+	// journal, and the state must survive another crash cycle.
+	if _, err := os.Stat(filepath.Join(dir, journalPrevName)); !os.IsNotExist(err) {
+		t.Fatalf("prev journal not retired by boot compaction: %v", err)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	wantLeases(t, r.State(), map[int]uint64{1: 1, 2: 3, 4: 4})
+	if got := r.Stats().ReplayedRecords; got != 0 {
+		t.Fatalf("second boot replayed %d records, want 0 (boot compaction snapshotted)", got)
+	}
+}
+
+// TestCompactionHealsBrokenJournalWriter pins the self-healing promise
+// in Stats.Err's docs: after a journal write failure (bufio errors are
+// sticky — every later flush of that writer fails too), the next
+// compaction must still write a snapshot from the mirror and hand the
+// store a working journal, not wedge forever on the poisoned writer.
+func TestCompactionHealsBrokenJournalWriter(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 1, ExpiresAt: at(100)})
+	// Break the journal fd out from under the store: the next flush (and
+	// every one after, per bufio's sticky error) fails.
+	s.mu.Lock()
+	s.f.Close()
+	s.mu.Unlock()
+	s.ObserveAcquire(lease.Lease{Name: 2, Token: 2, ExpiresAt: at(100)})
+	if s.Stats().Err == nil {
+		t.Fatal("journal failure not surfaced through Stats.Err")
+	}
+	// Compaction heals: snapshot from the mirror (which has both
+	// leases), fresh journal with a reset writer.
+	if err := s.Compact(); err != nil {
+		t.Fatalf("compaction wedged on the broken writer: %v", err)
+	}
+	// The fresh journal accepts and persists new records again.
+	s.ObserveAcquire(lease.Lease{Name: 3, Token: 3, ExpiresAt: at(100)})
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	wantLeases(t, r.State(), map[int]uint64{1: 1, 2: 2, 3: 3})
+}
+
+// TestCompactRotatesAndRetiresPrev pins the runtime protocol end to
+// end: Compact leaves a fresh journal, no prev, and a snapshot that
+// fully covers the state — all while appends keep landing.
+func TestCompactRotatesAndRetiresPrev(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	for i := 0; i < 16; i++ {
+		s.ObserveAcquire(lease.Lease{Name: i, Token: uint64(i + 1), ExpiresAt: at(100)})
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalPrevName)); !os.IsNotExist(err) {
+		t.Fatalf("prev journal left behind after Compact: %v", err)
+	}
+	// Post-compact appends land in the fresh journal and survive a crash.
+	s.ObserveAcquire(lease.Lease{Name: 20, Token: 21, ExpiresAt: at(100)})
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	if got := len(r.State().Leases); got != 17 {
+		t.Fatalf("recovered %d leases, want 17", got)
+	}
+	if got := r.Stats().ReplayedRecords; got != 1 {
+		t.Fatalf("replayed %d records, want 1 (only the post-compact acquire)", got)
+	}
+}

@@ -1,0 +1,232 @@
+// journal.go is the byte-level half of the durability layer: the record
+// vocabulary (acquire/renew/release/expire), the CRC-framed encoding, and
+// the replay loop with torn-tail truncation.
+//
+// The journal is an append-only sequence of frames after an 8-byte magic:
+//
+//	[4B payload length, LE] [4B CRC-32 (IEEE) of payload] [payload]
+//
+// A crash can tear the tail of the file mid-frame (length header cut
+// short, payload cut short, or a payload whose CRC no longer matches the
+// header written moments earlier). Replay recovers the longest valid
+// prefix: it applies frames until the first one that fails any check and
+// truncates the file there, so the journal is again well-formed for
+// appending. Everything before the torn frame was fully written and CRC-
+// verified; everything after it is unreachable garbage by construction
+// (frames are written with a single buffered write each, in order).
+//
+// Records are identified by (name, token): the fencing token makes replay
+// idempotent and order-tolerant across names — a release or expire only
+// deletes the mirror entry whose token it was minted for, so replaying a
+// stale prefix over a newer snapshot cannot resurrect or kill the wrong
+// lease.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/lease"
+)
+
+// journalMagic identifies a journal file; the trailing digit is the
+// format version.
+const journalMagic = "RLRNJNL1"
+
+// maxFrame is the sanity cap on a single frame's payload length. A torn
+// or corrupt length header could otherwise claim a multi-gigabyte frame
+// and stall replay; no legitimate record (op + varints + a 1 MiB-capped
+// HTTP request's owner/meta) approaches it.
+const maxFrame = 1 << 24
+
+// op is a journal record type.
+type op byte
+
+const (
+	opAcquire op = 1 // full lease: name, token, expiry, owner, meta
+	opRenew   op = 2 // name, token, new expiry
+	opRelease op = 3 // name, token — voluntary hand-back
+	opExpire  op = 4 // name, token — TTL lapse reclaimed
+)
+
+// record is one journal entry. expiresAt (UnixNano) is meaningful for
+// opAcquire and opRenew; owner and meta only for opAcquire.
+type record struct {
+	op        op
+	name      int
+	token     uint64
+	expiresAt int64
+	owner     string
+	meta      map[string]string
+}
+
+// recordFromLease builds the opAcquire record for l. The meta map is
+// referenced, not copied: the manager never mutates a granted lease's
+// meta in place, and the record is encoded before the observer returns.
+func recordFromLease(l lease.Lease) record {
+	return record{
+		op:        opAcquire,
+		name:      l.Name,
+		token:     l.Token,
+		expiresAt: l.ExpiresAt.UnixNano(),
+		owner:     l.Owner,
+		meta:      l.Meta,
+	}
+}
+
+// appendPayload appends r's payload encoding (everything inside the
+// frame) to b and returns the extended slice.
+func appendPayload(b []byte, r record) []byte {
+	b = append(b, byte(r.op))
+	b = binary.AppendUvarint(b, uint64(r.name))
+	b = binary.AppendUvarint(b, r.token)
+	switch r.op {
+	case opAcquire:
+		b = binary.AppendVarint(b, r.expiresAt)
+		b = binary.AppendUvarint(b, uint64(len(r.owner)))
+		b = append(b, r.owner...)
+		b = binary.AppendUvarint(b, uint64(len(r.meta)))
+		for k, v := range r.meta {
+			b = binary.AppendUvarint(b, uint64(len(k)))
+			b = append(b, k...)
+			b = binary.AppendUvarint(b, uint64(len(v)))
+			b = append(b, v...)
+		}
+	case opRenew:
+		b = binary.AppendVarint(b, r.expiresAt)
+	}
+	return b
+}
+
+// appendFrame appends the framed form of payload to b.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// cursor is a bounds-checked reader over a decoded payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("persist: short or malformed %s at offset %d", what, c.off)
+	}
+}
+
+func (c *cursor) byte(what string) byte {
+	if c.err != nil || c.off >= len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint(what string) int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) str(what string) string {
+	n := c.uvarint(what + " length")
+	if c.err != nil {
+		return ""
+	}
+	if uint64(len(c.b)-c.off) < n {
+		c.fail(what)
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+// decodePayload parses one frame payload back into a record.
+func decodePayload(p []byte) (record, error) {
+	c := &cursor{b: p}
+	r := record{op: op(c.byte("op"))}
+	r.name = int(c.uvarint("name"))
+	r.token = c.uvarint("token")
+	switch r.op {
+	case opAcquire:
+		r.expiresAt = c.varint("expires_at")
+		r.owner = c.str("owner")
+		if n := c.uvarint("meta count"); n > 0 && c.err == nil {
+			r.meta = make(map[string]string, n)
+			for i := uint64(0); i < n && c.err == nil; i++ {
+				k := c.str("meta key")
+				r.meta[k] = c.str("meta value")
+			}
+		}
+	case opRenew:
+		r.expiresAt = c.varint("expires_at")
+	case opRelease, opExpire:
+	default:
+		return record{}, fmt.Errorf("persist: unknown record op %d", r.op)
+	}
+	if c.err != nil {
+		return record{}, c.err
+	}
+	if c.off != len(p) {
+		return record{}, fmt.Errorf("persist: %d trailing bytes after record", len(p)-c.off)
+	}
+	return r, nil
+}
+
+// scanFrames walks the framed region of buf (magic already stripped),
+// invoking apply for every valid record, and returns the byte length of
+// the longest valid prefix plus the number of records applied. The first
+// frame that is short, oversized, CRC-mismatched or undecodable ends the
+// scan — that is the torn tail; the caller truncates there.
+func scanFrames(buf []byte, apply func(record)) (valid int64, n int) {
+	off := 0
+	for {
+		if len(buf)-off < 8 {
+			return int64(off), n // torn or clean EOF mid-header
+		}
+		length := int(binary.LittleEndian.Uint32(buf[off:]))
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		if length > maxFrame || len(buf)-off-8 < length {
+			return int64(off), n // impossible or short payload
+		}
+		payload := buf[off+8 : off+8+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return int64(off), n
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return int64(off), n
+		}
+		apply(rec)
+		off += 8 + length
+		n++
+	}
+}

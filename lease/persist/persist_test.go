@@ -1,0 +1,256 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/lease"
+)
+
+var _ lease.Observer = (*Store)(nil)
+
+// at builds a deterministic expiry instant.
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+// openAlways opens a store under dir with per-record fsync and no
+// background compaction, so tests control exactly what is on disk.
+func openAlways(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Fsync: FsyncAlways, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantLeases(t *testing.T, st lease.RestoreState, want map[int]uint64) {
+	t.Helper()
+	if len(st.Leases) != len(want) {
+		t.Fatalf("recovered %d leases, want %d (%v)", len(st.Leases), len(want), st.Leases)
+	}
+	for _, l := range st.Leases {
+		tok, ok := want[l.Name]
+		if !ok {
+			t.Fatalf("unexpected recovered lease on name %d", l.Name)
+		}
+		if l.Token != tok {
+			t.Fatalf("name %d recovered with token %d, want %d", l.Name, l.Token, tok)
+		}
+	}
+}
+
+func TestJournalRoundTripAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 10, Owner: "w1", ExpiresAt: at(100),
+		Meta: map[string]string{"zone": "a"}})
+	s.ObserveAcquire(lease.Lease{Name: 2, Token: 11, Owner: "w2", ExpiresAt: at(100)})
+	s.ObserveAcquire(lease.Lease{Name: 3, Token: 12, Owner: "w3", ExpiresAt: at(100)})
+	s.ObserveRenew(1, 10, at(200))
+	s.ObserveRelease(2, 11)
+	s.ObserveExpire(3, 12)
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openAlways(t, dir)
+	defer r.Close()
+	st := r.State()
+	wantLeases(t, st, map[int]uint64{1: 10})
+	if st.Token != 12 {
+		t.Fatalf("token watermark %d, want 12 (highest ever seen, not highest live)", st.Token)
+	}
+	l := st.Leases[0]
+	if !l.ExpiresAt.Equal(at(200)) {
+		t.Fatalf("renew not replayed: expiry %v, want %v", l.ExpiresAt, at(200))
+	}
+	if l.Owner != "w1" || l.Meta["zone"] != "a" {
+		t.Fatalf("owner/meta lost in replay: %+v", l)
+	}
+	if got := r.Stats().ReplayedRecords; got != 6 {
+		t.Fatalf("replayed %d records, want 6", got)
+	}
+}
+
+// TestStaleVerdictsIgnoredOnReplay pins the token guard: records about an
+// old token must not touch a lease minted after it, so replay tolerates
+// duplicated or stale prefixes.
+func TestStaleVerdictsIgnoredOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 7, Token: 1, ExpiresAt: at(100)})
+	s.ObserveRelease(7, 1)
+	s.ObserveAcquire(lease.Lease{Name: 7, Token: 2, ExpiresAt: at(300)})
+	// Stale verdicts about token 1 arriving late: must all be no-ops.
+	s.ObserveRenew(7, 1, at(999))
+	s.ObserveExpire(7, 1)
+	s.ObserveRelease(7, 1)
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	st := r.State()
+	wantLeases(t, st, map[int]uint64{7: 2})
+	if !st.Leases[0].ExpiresAt.Equal(at(300)) {
+		t.Fatalf("stale renew moved the new lease's expiry: %v", st.Leases[0].ExpiresAt)
+	}
+}
+
+func TestCloseWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	for i := 0; i < 32; i++ {
+		s.ObserveAcquire(lease.Lease{Name: i, Token: uint64(i + 1), ExpiresAt: at(100)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	stats := r.Stats()
+	if stats.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records after graceful Close, want 0 (snapshot covers all)", stats.ReplayedRecords)
+	}
+	if stats.RecoveredLeases != 32 {
+		t.Fatalf("recovered %d leases, want 32", stats.RecoveredLeases)
+	}
+	if tok := r.State().Token; tok != 32 {
+		t.Fatalf("token watermark %d, want 32", tok)
+	}
+}
+
+func TestCompactResetsJournalKeepsState(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 5, ExpiresAt: at(100)})
+	s.ObserveAcquire(lease.Lease{Name: 2, Token: 6, ExpiresAt: at(100)})
+	s.ObserveRelease(2, 6)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().JournalRecords; got != 0 {
+		t.Fatalf("journal holds %d records after Compact, want 0", got)
+	}
+	// Journal file really is reset to just the magic.
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(journalMagic)) {
+		t.Fatalf("journal size %d after Compact, want %d", fi.Size(), len(journalMagic))
+	}
+	s.ObserveAcquire(lease.Lease{Name: 3, Token: 7, ExpiresAt: at(100)})
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	wantLeases(t, r.State(), map[int]uint64{1: 5, 3: 7})
+	if tok := r.State().Token; tok != 7 {
+		t.Fatalf("token watermark %d, want 7", tok)
+	}
+}
+
+// TestTokenWatermarkSurvivesEmptyTable pins that the watermark is carried
+// by the snapshot itself, not derived from live leases: a table that
+// empties out must still never re-issue old tokens after restart.
+func TestTokenWatermarkSurvivesEmptyTable(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 41, ExpiresAt: at(100)})
+	s.ObserveRelease(1, 41)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	st := r.State()
+	if len(st.Leases) != 0 || st.Token != 41 {
+		t.Fatalf("got %d leases, watermark %d; want 0 leases, watermark 41", len(st.Leases), st.Token)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"always": FsyncAlways, "interval": FsyncInterval, "": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestBadSnapshotIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 1, ExpiresAt: at(100)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapshotName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot; stale leases could resurrect")
+	}
+}
+
+func TestAppendAfterCloseGoesSticky(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 1, ExpiresAt: at(100)})
+	if s.Stats().Err == nil {
+		t.Fatal("append after Close not surfaced through Stats.Err")
+	}
+}
+
+func TestFsyncIntervalFlushesWithoutCrashLoss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncInterval, FsyncEvery: 5 * time.Millisecond, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 9, ExpiresAt: at(100)})
+	// Wait for the background flusher to push the record out, then crash:
+	// the record must survive even though Crash never flushes.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	wantLeases(t, r.State(), map[int]uint64{1: 9})
+}
+
+func TestStickyErrIsFirstError(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	s := &Store{}
+	s.failLocked(e1)
+	s.failLocked(e2)
+	if s.err != e1 {
+		t.Fatalf("sticky error %v, want the first failure", s.err)
+	}
+}

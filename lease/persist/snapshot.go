@@ -1,0 +1,172 @@
+// snapshot.go is the compaction half of the durability layer: a snapshot
+// file is the whole lease table (plus the fencing-token watermark) written
+// at one instant, after which the journal restarts empty — recovery cost
+// becomes O(live + records-since-snapshot) instead of O(every record
+// ever).
+//
+// Format: an 8-byte magic, one header frame (token watermark, lease
+// count), then one frame per lease, all using the journal's CRC framing.
+// The file is replaced atomically — written to a temp name, fsynced,
+// renamed over the old snapshot, directory fsynced — so a crash mid-
+// compaction leaves the previous snapshot intact. Unlike the journal, a
+// snapshot that fails validation is a hard error, not a truncation: the
+// rename either happened or it didn't, so a half-valid snapshot means
+// real corruption and silently dropping its tail would resurrect stale
+// leases.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/lease"
+)
+
+const snapshotMagic = "RLRNSNP1"
+
+// writeSnapshot atomically replaces dir's snapshot with the given table
+// state. The map must be private to the caller (a clone, or the mirror
+// of a store with no concurrency) — it is read without locking.
+func writeSnapshot(dir string, mirror map[int]lease.Lease, maxToken uint64) error {
+	tmp := filepath.Join(dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	// Frames stream through a buffered writer — at a million live leases
+	// the snapshot is tens of MB, and building it as one []byte would
+	// transiently double the memory the mirror clone already costs.
+	w := bufio.NewWriter(f)
+	_, werr := w.WriteString(snapshotMagic)
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, maxToken)
+	hdr = binary.AppendUvarint(hdr, uint64(len(mirror)))
+	frame := appendFrame(nil, hdr)
+	if werr == nil {
+		_, werr = w.Write(frame)
+	}
+	var payload []byte
+	for _, l := range mirror {
+		if werr != nil {
+			break
+		}
+		payload = appendPayload(payload[:0], recordFromLease(l))
+		frame = appendFrame(frame[:0], payload)
+		_, werr = w.Write(frame)
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads dir's snapshot into a fresh mirror. A missing file
+// is an empty state; a present-but-invalid file is an error.
+func loadSnapshot(dir string) (mirror map[int]lease.Lease, maxToken uint64, err error) {
+	buf, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]lease.Lease{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot: %w", err)
+	}
+	if len(buf) < len(snapshotMagic) || string(buf[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, 0, errors.New("persist: snapshot: bad magic")
+	}
+	rest := buf[len(snapshotMagic):]
+	hdr, err := nextSnapshotFrame(&rest)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := &cursor{b: hdr}
+	maxToken = c.uvarint("token watermark")
+	count := c.uvarint("lease count")
+	if c.err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot header: %w", c.err)
+	}
+	mirror = make(map[int]lease.Lease, count)
+	for i := uint64(0); i < count; i++ {
+		payload, err := nextSnapshotFrame(&rest)
+		if err != nil {
+			return nil, 0, fmt.Errorf("persist: snapshot lease %d/%d: %w", i, count, err)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("persist: snapshot lease %d/%d: %w", i, count, err)
+		}
+		if rec.op != opAcquire {
+			return nil, 0, fmt.Errorf("persist: snapshot lease %d/%d: op %d", i, count, rec.op)
+		}
+		mirror[rec.name] = leaseFromRecord(rec)
+	}
+	return mirror, maxToken, nil
+}
+
+// nextSnapshotFrame pops one CRC-checked frame payload off *rest.
+func nextSnapshotFrame(rest *[]byte) ([]byte, error) {
+	b := *rest
+	if len(b) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	length := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if length > maxFrame || len(b)-8 < length {
+		return nil, io.ErrUnexpectedEOF
+	}
+	payload := b[8 : 8+length]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("persist: snapshot frame CRC mismatch")
+	}
+	*rest = b[8+length:]
+	return payload, nil
+}
+
+// leaseFromRecord rebuilds the in-memory lease an opAcquire record (or a
+// snapshot lease frame) describes.
+func leaseFromRecord(r record) lease.Lease {
+	return lease.Lease{
+		Name:      r.name,
+		Token:     r.token,
+		Owner:     r.owner,
+		ExpiresAt: time.Unix(0, r.expiresAt),
+		Meta:      r.meta,
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable — the half of atomic replacement that os.Rename alone skips.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	return nil
+}

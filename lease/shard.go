@@ -25,11 +25,15 @@ type shard struct {
 	_ [24]byte // pad to 64 bytes: mutex(8) + map(8) + slice header(24)
 }
 
-// sweepLocked reclaims the shard's expired leases by popping the expiry
-// heap until the head is in the future — O(expired) work, not O(live).
-// Callers hold sh.mu.
-func (m *Manager) sweepLocked(sh *shard, now time.Time) int {
-	reclaimed := 0
+// sweepLocked drops the shard's expired leases by popping the expiry
+// heap until the head is in the future — O(expired) work, not O(live) —
+// appending each dropped name to expired and returning the slice. The
+// namer hand-back is deliberately NOT done here: namer.Release is outside
+// this package's control and can be arbitrarily slow, and one sweep used
+// to hold the stripe mutex across O(expired) such calls, stalling every
+// Acquire/Renew/Get routed to the stripe. Callers hold sh.mu and must
+// pass the returned names to m.releaseNames AFTER unlocking.
+func (m *Manager) sweepLocked(sh *shard, now time.Time, expired []int) []int {
 	for len(sh.expiries) > 0 && now.After(sh.expiries[0].at) {
 		e := sh.expiries.pop()
 		l, ok := sh.leases[e.name]
@@ -39,23 +43,37 @@ func (m *Manager) sweepLocked(sh *shard, now time.Time) int {
 		if !now.After(l.ExpiresAt) {
 			continue // renewed: a fresher entry carries the new deadline
 		}
-		m.reclaimLocked(sh, e.name)
-		reclaimed++
+		m.expireLocked(sh, e.name, l.Token)
+		expired = append(expired, e.name)
 	}
-	return reclaimed
+	return expired
 }
 
-// reclaimLocked drops name's lease, returns the name to the namer's pool
-// and settles the counters. Callers hold sh.mu and name routes to sh.
-// The compaction check keeps the heap bounded even when reclamation only
-// ever happens lazily (sweeper off, leases expiring under Get/Renew/
-// Release) — each lazy reclaim strands one stale heap entry.
-func (m *Manager) reclaimLocked(sh *shard, name int) {
+// expireLocked drops name's lapsed lease from the table and settles the
+// counters and observer. It does NOT hand the name back to the namer —
+// the caller must m.releaseName(name) after unlocking the stripe, so a
+// slow namer.Release (or a synchronous journal fsync) never runs under
+// sh.mu. Callers hold sh.mu and name routes to sh. The compaction check
+// keeps the heap bounded even when reclamation only ever happens lazily
+// (sweeper off, leases expiring under Get/Renew/Release) — each lazy
+// reclaim strands one stale heap entry.
+func (m *Manager) expireLocked(sh *shard, name int, token uint64) {
 	delete(sh.leases, name)
 	m.live.Add(-1)
 	m.expired.Add(1)
-	m.releaseName(name)
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.ObserveExpire(name, token)
+	}
 	sh.maybeCompact()
+}
+
+// releaseNames hands a batch of reclaimed names back to the namer.
+// Callers must NOT hold any stripe lock; failures are counted in
+// Metrics.ReclaimFailed by releaseName.
+func (m *Manager) releaseNames(names []int) {
+	for _, name := range names {
+		m.releaseName(name)
+	}
 }
 
 // maybeCompact rebuilds the shard's expiry heap from its live leases when

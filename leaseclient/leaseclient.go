@@ -45,6 +45,11 @@ import (
 // ErrSessionClosed is returned by operations on a closed Session.
 var ErrSessionClosed = errors.New("leaseclient: session closed")
 
+// maxBackoff caps the transient-failure retry delay: a session must keep
+// probing at least every 2s through a server restart, or leases expire
+// while the client politely waits.
+const maxBackoff = 2 * time.Second
+
 // Lease is one name the session holds. Copies are handed out; the
 // session keeps renewing the lease regardless of what the caller does
 // with the copy.
@@ -490,8 +495,16 @@ func (s *Session) heartbeat() {
 		s.retries.Add(1)
 		if s.backoff == 0 {
 			s.backoff = 50 * time.Millisecond
-		} else if s.backoff < 2*time.Second {
+		} else {
+			// Double, then clamp: the guard used to be checked BEFORE the
+			// doubling, so 50ms·2^k marched 1.6s → 3.2s and the effective
+			// ceiling was ~4s, not the intended 2s. During a server
+			// restart every extra second of backoff is a heartbeat the
+			// session doesn't attempt while its TTL burns down.
 			s.backoff *= 2
+			if s.backoff > maxBackoff {
+				s.backoff = maxBackoff
+			}
 		}
 	} else {
 		s.backoff = 0

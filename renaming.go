@@ -237,6 +237,30 @@ func (n *namer) Release(name int) error {
 	return nil
 }
 
+// Adopt marks a specific name as held, as if it had been acquired — the
+// restart-recovery extension. A lease service replaying its durable state
+// after a crash knows exactly which names were held and must re-seize those
+// slots before serving new acquisitions, or a fresh Acquire could be granted
+// a name that still has a live holder. Adopt performs the seizure as a
+// single TAS on the named slot: it needs no occupancy bookkeeping to repair
+// (the LevelArray's levels carry none — that is what makes its long-lived
+// analysis hold under churn), so the adopted name behaves exactly like an
+// acquired one, including Release. Adopting a name that is already held
+// fails with an error matching ErrNameHeld; a name outside [0, Namespace())
+// is rejected with ErrBadConfig.
+func (n *namer) Adopt(name int) error {
+	if name < 0 || name >= n.alg.Namespace() {
+		return badConfig("", "Adopt", fmt.Sprint(name),
+			fmt.Sprintf("name outside [0,%d)", n.alg.Namespace()))
+	}
+	// n.mem, not n.counted: adoption is recovery bookkeeping, not a probe —
+	// it must not perturb WithCounting's probe/win statistics.
+	if !n.mem.TAS(name) {
+		return fmt.Errorf("renaming: Adopt(%d): %w", name, ErrNameHeld)
+	}
+	return nil
+}
+
 // Probes returns the total number of TAS probes and the number of winning
 // probes executed so far. It returns ok = false unless the namer was built
 // with WithCounting.
