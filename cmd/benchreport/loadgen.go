@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	renaming "repro"
+	"repro/lease"
+	"repro/leaseclient"
+)
+
+// engineRenewsPerSec measures sustained renewal throughput against the
+// lease engine directly: a standing population of `leases` renewed in
+// RenewBatch chunks of `batch` for `dur`. This is the in-process
+// counterpart of the -sessions loadgen — no HTTP, no JSON, just the
+// table — so the number is comparable across machines and isolates
+// engine regressions from transport ones.
+func engineRenewsPerSec(leases, batch int, dur time.Duration) (float64, error) {
+	nm, err := renaming.NewLevelArray(leases)
+	if err != nil {
+		return 0, err
+	}
+	mgr, err := lease.New(nm, lease.Config{TTL: time.Hour, SweepInterval: -1})
+	if err != nil {
+		return 0, err
+	}
+	defer mgr.Shutdown()
+	ctx := context.Background()
+	held, err := mgr.AcquireBatch(ctx, "benchreport", leases, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	items := make([]lease.RenewItem, len(held))
+	for i, l := range held {
+		items[i] = lease.RenewItem{Name: l.Name, Token: l.Token}
+	}
+
+	var renewed int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	for pos := 0; time.Now().Before(deadline); {
+		end := pos + batch
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[pos:end]
+		results, err := mgr.RenewBatch(ctx, chunk, 0)
+		if err != nil {
+			return 0, err
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				return 0, fmt.Errorf("renew %d: %v", chunk[i].Name, results[i].Err)
+			}
+		}
+		renewed += int64(len(chunk))
+		if pos = end; pos >= len(items) {
+			pos = 0
+		}
+	}
+	return float64(renewed) / time.Since(start).Seconds(), nil
+}
+
+// liveRenewsPerSec measures renewal throughput against a running
+// renamed server over real HTTP: a heartbeating leaseclient session
+// holding `leases` with a short TTL, observed for `dur`. Unlike the
+// engine number this includes JSON, the transport, and the heartbeat
+// schedule, so it is a service-level figure.
+func liveRenewsPerSec(target string, leases int, dur time.Duration) (float64, error) {
+	sess, err := leaseclient.NewSession(leaseclient.Config{
+		Target: target,
+		Owner:  "benchreport",
+		TTL:    time.Second,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	if _, err := sess.AcquireN(ctx, leases); err != nil {
+		return 0, err
+	}
+	base := sess.Stats().Renewed
+	start := time.Now()
+	time.Sleep(dur)
+	elapsed := time.Since(start)
+	st := sess.Stats()
+	if st.TransportErrors > 0 {
+		return 0, fmt.Errorf("live loadgen saw %d transport errors against %s", st.TransportErrors, target)
+	}
+	return float64(st.Renewed-base) / elapsed.Seconds(), nil
+}

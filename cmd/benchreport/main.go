@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "BENCH_6.json", "report file to write (run mode)")
+		benchRe   = fs.String("bench", "AcquireRelease|Renew|RenewBatch|JournaledChurn|Recovery", "benchmark regex passed to go test -bench")
+		benchTime = fs.String("benchtime", "0.3s", "go test -benchtime per benchmark")
+		skipRe    = fs.String("skip", ".*/fsync=always", "go test -skip regex; default excludes host-IO-bound benchmarks whose numbers gate flakily")
+		count     = fs.Int("count", 1, "go test -count; runs are averaged in the report")
+		pkgs      = fs.String("pkgs", "./lease,./lease/persist", "comma-separated packages to benchmark")
+		target    = fs.String("target", "", "live renamed base URL for the loadgen pass (default: in-process engine)")
+		loadDur   = fs.Duration("loadgen", 2*time.Second, "loadgen pass duration (0 disables)")
+		loadN     = fs.Int("loadgen-leases", 4096, "standing leases in the loadgen pass")
+		loadBatch = fs.Int("loadgen-batch", 512, "renew batch size in the engine loadgen pass")
+
+		diff  = fs.Bool("diff", false, "diff mode: compare -old against -new instead of running")
+		oldP  = fs.String("old", "", "baseline report (diff mode)")
+		newP  = fs.String("new", "", "candidate report (diff mode)")
+		noise = fs.Float64("noise", 0.25, "fractional noise band before a ns/op delta is a regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *diff {
+		return runDiff(*oldP, *newP, *noise, stdout, stderr)
+	}
+
+	rep := &Report{Schema: 1, GoVersion: runtime.Version(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		fmt.Fprintf(stderr, "benchreport: go test -bench %s %s\n", *benchRe, pkg)
+		raw, err := goBench(pkg, *benchRe, *skipRe, *benchTime, *count)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: %s: %v\n", pkg, err)
+			return 1
+		}
+		benches, err := parseBenchOutput(bytes.NewReader(raw))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: %v\n", err)
+			return 1
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benches...)
+	}
+	rep.Benchmarks = mergeBenchmarks(rep.Benchmarks)
+	rep.Derived = derive(rep.Benchmarks)
+
+	if *loadDur > 0 {
+		var (
+			rps float64
+			err error
+		)
+		if *target != "" {
+			fmt.Fprintf(stderr, "benchreport: live loadgen against %s for %v\n", *target, *loadDur)
+			rps, err = liveRenewsPerSec(*target, *loadN, *loadDur)
+		} else {
+			fmt.Fprintf(stderr, "benchreport: engine loadgen, %d leases x batch %d for %v\n", *loadN, *loadBatch, *loadDur)
+			rps, err = engineRenewsPerSec(*loadN, *loadBatch, *loadDur)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: loadgen: %v\n", err)
+			return 1
+		}
+		rep.Derived.RenewsPerSec = rps
+	}
+
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d benchmarks", *out, len(rep.Benchmarks))
+	if d := rep.Derived; d.RenewBatchNsPerRenewal > 0 {
+		fmt.Fprintf(stdout, ", renew_batch %.1f ns/renewal", d.RenewBatchNsPerRenewal)
+	}
+	if d := rep.Derived; d.RecoveryMs > 0 {
+		fmt.Fprintf(stdout, ", recovery %.1f ms", d.RecoveryMs)
+	}
+	if d := rep.Derived; d.RenewsPerSec > 0 {
+		fmt.Fprintf(stdout, ", %.0f renews/s", d.RenewsPerSec)
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+// goBench shells out to the go tool for one package's benchmarks. -run
+// ^$ keeps unit tests out of the timing run.
+func goBench(pkg, re, skip, benchtime string, count int) ([]byte, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", re, "-benchmem", "-benchtime", benchtime,
+		"-count", fmt.Sprint(count)}
+	if skip != "" {
+		args = append(args, "-skip", skip)
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, buf.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+func runDiff(oldPath, newPath string, noise float64, stdout, stderr io.Writer) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(stderr, "benchreport: -diff needs -old and -new")
+		return 2
+	}
+	old, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	cur, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	lines, regressions := diffReports(old, cur, noise)
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "benchreport: %d regression(s) beyond the %.0f%% noise band\n",
+			len(regressions), noise*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions (%d benchmarks, noise band %.0f%%)\n",
+		len(cur.Benchmarks), noise*100)
+	return 0
+}

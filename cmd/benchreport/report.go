@@ -1,0 +1,235 @@
+// Package main implements benchreport, the machine-readable benchmark
+// trajectory for this repo. Run mode executes the tier-1 benchmarks
+// (./lease, ./lease/persist) plus a live renewal loadgen pass and emits
+// BENCH_<n>.json; diff mode compares two such files and exits nonzero
+// on any regression beyond a noise band — the gate that keeps the perf
+// numbers in EXPERIMENTS.md from silently rotting.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line. Name carries
+// the package, as "repro/lease:BenchmarkRenewBatch/batch512", with the
+// trailing -GOMAXPROCS suffix stripped so reports diff across machines.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Derived are the headline service numbers pulled out of the raw
+// benchmark list (plus the loadgen pass) — the values the ROADMAP's
+// prose claims are made of, in comparable machine-readable form.
+type Derived struct {
+	// RenewNsPerOp is the single-lease renew fast path.
+	RenewNsPerOp float64 `json:"renew_ns_per_op,omitempty"`
+	// RenewBatchNsPerRenewal is per RENEWAL at batch=512 over 2^16
+	// standing leases — the acceptance number (≤ ~240ns with telemetry).
+	RenewBatchNsPerRenewal float64 `json:"renew_batch_ns_per_renewal,omitempty"`
+	// RecoveryMs is a cold boot (journal replay, no snapshot) of 2^12
+	// live leases: persist.Open + Manager.Restore.
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	// RenewsPerSec is the sustained renewal throughput of the loadgen
+	// pass (in-process engine by default, live HTTP with -target).
+	RenewsPerSec float64 `json:"renews_per_sec,omitempty"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Schema      int         `json:"schema"`
+	GoVersion   string      `json:"go_version,omitempty"`
+	GeneratedAt string      `json:"generated_at,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+	Derived     Derived     `json:"derived"`
+}
+
+// benchLine matches a go-test benchmark result. MB/s (optional, column
+// 4) is skipped; -benchmem appends B/op and allocs/op.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
+
+// parseBenchOutput reads `go test -bench` output (one or more packages)
+// into Benchmarks, prefixing each name with the pkg: line in force.
+func parseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		if pkg != "" {
+			b.Name = pkg + ":" + m[1]
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchreport: bad iterations in %q: %v", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("benchreport: bad ns/op in %q: %v", line, err)
+		}
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// mergeBenchmarks averages duplicate names (from -count > 1) so the
+// report holds one row per benchmark. Iterations sum; allocs/bytes are
+// per-op and deterministic, so the max is kept to surface any run that
+// allocated more.
+func mergeBenchmarks(in []Benchmark) []Benchmark {
+	type acc struct {
+		Benchmark
+		runs int64
+	}
+	order := []string{}
+	byName := map[string]*acc{}
+	for _, b := range in {
+		a, ok := byName[b.Name]
+		if !ok {
+			order = append(order, b.Name)
+			byName[b.Name] = &acc{Benchmark: b, runs: 1}
+			continue
+		}
+		a.Iterations += b.Iterations
+		a.NsPerOp += b.NsPerOp
+		a.runs++
+		if b.BytesPerOp > a.BytesPerOp {
+			a.BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp > a.AllocsPerOp {
+			a.AllocsPerOp = b.AllocsPerOp
+		}
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		a.NsPerOp /= float64(a.runs)
+		out = append(out, a.Benchmark)
+	}
+	return out
+}
+
+// derive pulls the headline numbers out of the benchmark list.
+func derive(benches []Benchmark) Derived {
+	var d Derived
+	for _, b := range benches {
+		switch {
+		case strings.HasSuffix(b.Name, ":BenchmarkRenew"),
+			strings.HasSuffix(b.Name, "BenchmarkRenew/sharded"):
+			d.RenewNsPerOp = b.NsPerOp
+		case strings.HasSuffix(b.Name, "BenchmarkRenewBatch/batch512"):
+			d.RenewBatchNsPerRenewal = b.NsPerOp
+		case strings.HasSuffix(b.Name, ":BenchmarkRecovery"):
+			d.RecoveryMs = b.NsPerOp / 1e6
+		}
+	}
+	return d
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchreport: %s: %v", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// diffReports compares new against old under a fractional noise band.
+// Lower is better for ns/op and recovery; higher is better for
+// renews/s; allocs/op are deterministic, so ANY increase is a
+// regression regardless of noise. A benchmark present in old but gone
+// from new is a regression too — a vanished benchmark must not read as
+// a pass. Returns the human-readable comparison lines and the subset
+// that are regressions.
+func diffReports(old, new *Report, noise float64) (lines, regressions []string) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	reg := func(format string, args ...any) {
+		s := fmt.Sprintf(format, args...)
+		lines = append(lines, "REGRESSION "+s)
+		regressions = append(regressions, s)
+	}
+	for _, nb := range new.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("new        %s: %.1f ns/op (no baseline)", nb.Name, nb.NsPerOp))
+			continue
+		}
+		delete(oldBy, nb.Name)
+		ratio := nb.NsPerOp / ob.NsPerOp
+		switch {
+		case nb.NsPerOp > ob.NsPerOp*(1+noise):
+			reg("%s: %.1f -> %.1f ns/op (%+.1f%%, noise band %.0f%%)",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, (ratio-1)*100, noise*100)
+		default:
+			lines = append(lines, fmt.Sprintf("ok         %s: %.1f -> %.1f ns/op (%+.1f%%)",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, (ratio-1)*100))
+		}
+		// Allocations are deterministic on hot paths, so 0 -> 1 must trip
+		// with no noise band; alloc-heavy benchmarks (recovery replays,
+		// setup-dominated runs) wobble a little with iteration count, so
+		// a 5% tolerance applies on top of the old value.
+		if nb.AllocsPerOp > ob.AllocsPerOp+ob.AllocsPerOp/20 {
+			reg("%s: allocs/op %d -> %d (tolerance 5%%, zero stays zero)",
+				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+		}
+	}
+	missing := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		reg("%s: present in baseline, missing from new report", name)
+	}
+	if o, n := old.Derived.RecoveryMs, new.Derived.RecoveryMs; o > 0 && n > o*(1+noise) {
+		reg("recovery_ms: %.2f -> %.2f (%+.1f%%)", o, n, (n/o-1)*100)
+	}
+	if o, n := old.Derived.RenewsPerSec, new.Derived.RenewsPerSec; o > 0 && n > 0 && n < o/(1+noise) {
+		reg("renews_per_sec: %.0f -> %.0f (%+.1f%%; higher is better)", o, n, (n/o-1)*100)
+	}
+	return lines, regressions
+}

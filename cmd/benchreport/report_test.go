@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/lease
+cpu: shared
+BenchmarkAcquireRelease-4   	 1000000	       950.0 ns/op	      48 B/op	       1 allocs/op
+BenchmarkRenew-4            	 5000000	       210.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRenewBatch/single-4	 5000000	       214.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRenewBatch/batch512-4	 8000000	       225.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/lease	8.1s
+pkg: repro/lease/persist
+BenchmarkJournaledChurn-4   	  500000	      2100.0 ns/op	  12.34 MB/s	     128 B/op	       3 allocs/op
+BenchmarkRecovery-4         	     100	  11500000 ns/op	 4096 B/op	      99 allocs/op
+PASS
+ok  	repro/lease/persist	3.0s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6: %+v", len(benches), benches)
+	}
+	// Names carry the package and drop the -GOMAXPROCS suffix.
+	if got := benches[0].Name; got != "repro/lease:BenchmarkAcquireRelease" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := benches[3].Name; got != "repro/lease:BenchmarkRenewBatch/batch512" {
+		t.Fatalf("sub-benchmark name = %q", got)
+	}
+	if b := benches[0]; b.Iterations != 1000000 || b.NsPerOp != 950 || b.BytesPerOp != 48 || b.AllocsPerOp != 1 {
+		t.Fatalf("first row = %+v", b)
+	}
+	// The MB/s column must not shift B/op and allocs/op.
+	if b := benches[4]; b.Name != "repro/lease/persist:BenchmarkJournaledChurn" ||
+		b.BytesPerOp != 128 || b.AllocsPerOp != 3 {
+		t.Fatalf("MB/s row = %+v", b)
+	}
+}
+
+func TestDeriveHeadlineNumbers(t *testing.T) {
+	benches, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derive(benches)
+	if d.RenewNsPerOp != 210.3 {
+		t.Fatalf("RenewNsPerOp = %v", d.RenewNsPerOp)
+	}
+	if d.RenewBatchNsPerRenewal != 225.5 {
+		t.Fatalf("RenewBatchNsPerRenewal = %v (must pick batch512, not single)", d.RenewBatchNsPerRenewal)
+	}
+	if d.RecoveryMs != 11.5 {
+		t.Fatalf("RecoveryMs = %v, want ns/op converted to ms", d.RecoveryMs)
+	}
+}
+
+func TestMergeBenchmarksAveragesCounts(t *testing.T) {
+	merged := mergeBenchmarks([]Benchmark{
+		{Name: "a", Iterations: 10, NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "a", Iterations: 10, NsPerOp: 300, AllocsPerOp: 1},
+		{Name: "b", Iterations: 5, NsPerOp: 50},
+	})
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d rows, want 2", len(merged))
+	}
+	if a := merged[0]; a.NsPerOp != 200 || a.Iterations != 20 || a.AllocsPerOp != 1 {
+		t.Fatalf("merged a = %+v (want mean ns/op, summed iters, max allocs)", a)
+	}
+}
+
+func report(benches []Benchmark, d Derived) *Report {
+	return &Report{Schema: 1, Benchmarks: benches, Derived: d}
+}
+
+func TestDiffWithinNoiseIsClean(t *testing.T) {
+	old := report([]Benchmark{{Name: "x", NsPerOp: 200}}, Derived{RenewsPerSec: 1e6, RecoveryMs: 10})
+	cur := report([]Benchmark{{Name: "x", NsPerOp: 230}}, Derived{RenewsPerSec: 0.9e6, RecoveryMs: 11})
+	_, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("regressions within the noise band: %v", regs)
+	}
+}
+
+func TestDiffCatchesNsPerOpRegression(t *testing.T) {
+	old := report([]Benchmark{{Name: "x", NsPerOp: 200}}, Derived{})
+	cur := report([]Benchmark{{Name: "x", NsPerOp: 300}}, Derived{})
+	_, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "x") {
+		t.Fatalf("regs = %v, want the 50%% ns/op regression flagged", regs)
+	}
+	// An improvement of the same magnitude is NOT a regression.
+	_, regs = diffReports(cur, old, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestDiffCatchesAllocRegressionExactly(t *testing.T) {
+	old := report([]Benchmark{{Name: "x", NsPerOp: 200, AllocsPerOp: 0}}, Derived{})
+	cur := report([]Benchmark{{Name: "x", NsPerOp: 200, AllocsPerOp: 1}}, Derived{})
+	_, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regs = %v, want the 0->1 allocs/op flagged despite identical ns/op", regs)
+	}
+}
+
+func TestDiffCatchesMissingBenchmark(t *testing.T) {
+	old := report([]Benchmark{{Name: "x", NsPerOp: 200}, {Name: "y", NsPerOp: 100}}, Derived{})
+	cur := report([]Benchmark{{Name: "x", NsPerOp: 200}}, Derived{})
+	_, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("regs = %v, want the vanished benchmark flagged", regs)
+	}
+}
+
+func TestDiffCatchesThroughputDrop(t *testing.T) {
+	old := report(nil, Derived{RenewsPerSec: 1e6})
+	cur := report(nil, Derived{RenewsPerSec: 0.5e6})
+	_, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "renews_per_sec") {
+		t.Fatalf("regs = %v, want the throughput drop flagged", regs)
+	}
+}
+
+// TestRunDiffExitCodes drives the CLI surface end to end: write two
+// reports, diff them both ways, and check the exit codes CI keys on.
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	if err := writeReport(oldP, report([]Benchmark{{Name: "x", NsPerOp: 200}}, Derived{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(newP, report([]Benchmark{{Name: "x", NsPerOp: 210}}, Derived{})); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", "-old", oldP, "-new", newP}, &out, &errb); code != 0 {
+		t.Fatalf("clean diff exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("clean diff output: %q", out.String())
+	}
+	// Inject a regression into the candidate: the gate must go red.
+	if err := writeReport(newP, report([]Benchmark{{Name: "x", NsPerOp: 400}}, Derived{})); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-diff", "-old", oldP, "-new", newP}, &out, &errb); code != 1 {
+		t.Fatalf("regressed diff exited %d, want 1: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regressed diff output: %q", out.String())
+	}
+	// Round-trip: the report file reads back identically.
+	rt, err := readReport(newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Benchmarks[0].NsPerOp != 400 {
+		t.Fatalf("round-tripped report = %+v", rt)
+	}
+}
+
+func TestEngineLoadgen(t *testing.T) {
+	rps, err := engineRenewsPerSec(64, 16, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rps <= 0 {
+		t.Fatalf("renews/s = %v, want > 0", rps)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 	"repro/lease"
 )
@@ -29,7 +30,7 @@ func newGracefulStack(t *testing.T, handler http.Handler) (*http.Server, net.Lis
 		t.Fatal(err)
 	}
 	if handler == nil {
-		handler = newServer(mgr)
+		handler = newServer(mgr, nil)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -119,8 +120,12 @@ func TestServeGracefulDrainTimeout(t *testing.T) {
 	}
 }
 
-func TestLatencyHistQuantiles(t *testing.T) {
-	var h latencyHist
+// TestLatencySummaryCompat pins the /debug/vars latency shape over the
+// shared telemetry histogram: same log2-bucket quantile bounds and the
+// same count/mean_us/p50_us/p90_us/p99_us summary fields as before the
+// histogram unification.
+func TestLatencySummaryCompat(t *testing.T) {
+	h := telemetry.NewHistogram()
 	if got := h.Quantile(0.5); got != 0 {
 		t.Fatalf("empty histogram quantile = %v, want 0", got)
 	}
@@ -137,9 +142,12 @@ func TestLatencyHistQuantiles(t *testing.T) {
 	if p50 > time.Millisecond || p99 > 2*time.Millisecond {
 		t.Fatalf("quantiles beyond 2x bucket bound: p50 %v, p99 %v", p50, p99)
 	}
-	s := h.summary()
+	s := summarize(h)
 	if s.Count != 1000 || s.MeanUs <= 0 || s.P99Us < s.P50Us {
 		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50Us != float64(p50)/1e3 || s.P99Us != float64(p99)/1e3 {
+		t.Fatalf("summary quantiles drifted from the histogram's: %+v vs p50 %v p99 %v", s, p50, p99)
 	}
 }
 

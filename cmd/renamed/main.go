@@ -72,8 +72,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -82,6 +84,7 @@ import (
 	"time"
 
 	renaming "repro"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 	"repro/lease"
 	"repro/lease/persist"
@@ -109,6 +112,8 @@ func run(args []string, out io.Writer) error {
 		dataDir  = fs.String("data-dir", "", "durability directory (journal + snapshot); leases survive crash and restart. Empty = in-memory only (server mode)")
 		fsyncStr = fs.String("fsync", "interval", "journal fsync policy with -data-dir: always (durable before reply), interval (bounded loss), never (OS-paced)")
 		compact  = fs.Duration("compact-every", 0, "snapshot-compaction check cadence with -data-dir (0 = 1m, negative disables)")
+		slowOp   = fs.Duration("slow-op", 250*time.Millisecond, "log a structured slow-operation line (with the request's X-Request-Id) for /v1 handlers slower than this; 0 disables (server mode)")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (server mode)")
 
 		load     = fs.Bool("load", false, "run as load generator instead of server")
 		target   = fs.String("target", "http://localhost:8077", "server base URL (load mode)")
@@ -217,8 +222,11 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 	}
 	fmt.Fprintf(out, "renamed: serving %s (max live %d, namespace %d, ttl %v) on %s\n",
 		desc, maxLive, nm.Namespace(), *ttl, ln.Addr())
-	handler := newServer(mgr)
-	handler.store = store
+	handler := newServer(mgr, store)
+	handler.slowThreshold = *slowOp
+	if *pprofOn {
+		handler.enablePprof()
+	}
 	srv := &http.Server{
 		Handler: handler,
 		// Slow-client bounds: a peer that stalls mid-headers or idles
@@ -313,11 +321,53 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 			return fmt.Errorf("durable shutdown: %w", serr)
 		}
 	}
+	// The final metrics snapshot: one structured line after the drain and
+	// the durable shutdown, so it reflects everything the process did —
+	// including the final compaction. The handler is a *server in
+	// production; tests that serve a bare handler get no snapshot.
+	if h, ok := srv.Handler.(*server); ok {
+		h.logFinalSnapshot(out)
+	}
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Fprintln(out, "renamed: shutdown complete")
 	return nil
+}
+
+// logFinalSnapshot emits the shutdown metrics snapshot: one structured
+// log line with the counters an operator wants in the last lines before
+// the process exits (and that a log pipeline can parse without scraping
+// /metrics mid-shutdown). Safe after Close/Shutdown — every source here
+// reads atomics or mutex-guarded snapshots.
+func (s *server) logFinalSnapshot(out io.Writer) {
+	lm := s.mgr.Metrics()
+	attrs := []any{
+		"uptime_s", time.Since(s.start).Seconds(),
+		"requests", s.requests.Load(),
+		"errors", s.errors.Load(),
+		"acquired", lm.Acquired,
+		"renewed", lm.Renewed,
+		"released", lm.Released,
+		"expired", lm.Expired,
+		"rejected", lm.Rejected,
+		"live", lm.Live,
+		"renew_p99_us", summarize(s.lat.renewBatch).P99Us,
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		attrs = append(attrs,
+			"persist_appends", st.Appends,
+			"persist_fsyncs", st.Syncs,
+			"persist_compactions", st.Compactions,
+			"persist_journal_bytes", st.JournalBytes,
+			"persist_live", st.Live,
+		)
+		if st.Err != nil {
+			attrs = append(attrs, "persist_err", st.Err.Error())
+		}
+	}
+	slog.New(slog.NewTextHandler(out, nil)).Info("final metrics snapshot", attrs...)
 }
 
 // buildNamer constructs the requested namer through the renaming driver
@@ -363,48 +413,107 @@ type server struct {
 	start time.Time
 	// store is the optional durability layer; non-nil only with -data-dir.
 	// The handlers never touch it (the manager's observer hook does the
-	// journaling); it is here for the /debug/vars persistence gauges.
+	// journaling); it is here for the persistence gauges.
 	store *persist.Store
+
+	// met is the Prometheus surface (GET /metrics); the /debug/vars
+	// expvar view reads the same histograms, so the two cannot disagree.
+	met *serverMetrics
 
 	// request counters, exported through expvar-style /debug/vars.
 	requests atomic.Int64
 	errors   atomic.Int64
 
-	// per-operation latency histograms, exported as renamed_latency.
+	// per-operation latency histograms: one telemetry.Histogram per /v1
+	// op, shared between /metrics (cumulative buckets) and /debug/vars
+	// (µs quantile summaries).
 	lat struct {
-		acquire, acquireBatch, renew, renewBatch, release, releaseBatch latencyHist
+		acquire, acquireBatch, renew, renewBatch, release, releaseBatch *telemetry.Histogram
 	}
+
+	// slowThreshold gates the structured slow-operation log line; 0
+	// disables it. slowLog defaults to stderr; tests redirect it.
+	slowThreshold time.Duration
+	slowLog       *slog.Logger
 }
 
-// newServer wires the routes and metrics for one manager.
-func newServer(mgr *lease.Manager) *server {
-	s := &server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("POST /v1/acquire", timed(&s.lat.acquire, s.handleAcquire))
-	s.mux.HandleFunc("POST /v1/acquire_batch", timed(&s.lat.acquireBatch, s.handleAcquireBatch))
-	s.mux.HandleFunc("POST /v1/renew", timed(&s.lat.renew, s.handleRenew))
-	s.mux.HandleFunc("POST /v1/renew_batch", timed(&s.lat.renewBatch, s.handleRenewBatch))
-	s.mux.HandleFunc("POST /v1/release", timed(&s.lat.release, s.handleRelease))
-	s.mux.HandleFunc("POST /v1/release_batch", timed(&s.lat.releaseBatch, s.handleReleaseBatch))
+// newServer wires the routes and metrics for one manager. store may be
+// nil (in-memory mode); when set, the persistence series register too.
+func newServer(mgr *lease.Manager, store *persist.Store) *server {
+	s := &server{
+		mgr:     mgr,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		store:   store,
+		slowLog: slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	s.met = newServerMetrics(s)
+	s.lat.acquire = s.timed("acquire", s.handleAcquire)
+	s.lat.acquireBatch = s.timed("acquire_batch", s.handleAcquireBatch)
+	s.lat.renew = s.timed("renew", s.handleRenew)
+	s.lat.renewBatch = s.timed("renew_batch", s.handleRenewBatch)
+	s.lat.release = s.timed("release", s.handleRelease)
+	s.lat.releaseBatch = s.timed("release_batch", s.handleReleaseBatch)
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	s.mux.Handle("GET /debug/vars", s.varsHandler())
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		s.met.reg.WritePrometheus(w)
+	})
 	return s
+}
+
+// enablePprof mounts net/http/pprof on the server's private mux (the
+// package's init-time handlers live on http.DefaultServeMux, which this
+// server never serves). Profiling endpoints cost CPU and reveal internal
+// state, so they are opt-in via -pprof.
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	// Echo the client's request ID on every response so either side of a
+	// slow or failed call can quote the same handle; mint one for bare
+	// callers (curl) so the slow-op log never carries an empty id. The
+	// mint is written back onto the request header, which is where
+	// timed() reads it from.
+	rid := r.Header.Get(wire.HeaderRequestID)
+	if rid == "" {
+		rid = wire.NewRequestID()
+		r.Header.Set(wire.HeaderRequestID, rid)
+	}
+	w.Header().Set(wire.HeaderRequestID, rid)
 	s.mux.ServeHTTP(w, r)
 }
 
-// timed records a handler's wall-clock latency into h.
-func timed(h *latencyHist, fn http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+// timed mounts fn as "POST /v1/<op>" with the per-op instrumentation:
+// request counter, latency histogram (returned, shared with /debug/vars)
+// and the slow-operation log line carrying the request's X-Request-Id.
+func (s *server) timed(op string, fn http.HandlerFunc) *telemetry.Histogram {
+	h := s.met.latency.With(op)
+	reqs := s.met.requests.With(op)
+	s.mux.HandleFunc("POST /v1/"+op, func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
 		start := time.Now()
 		fn(w, r)
-		h.Observe(time.Since(start))
-	}
+		d := time.Since(start)
+		h.Observe(d)
+		if s.slowThreshold > 0 && d >= s.slowThreshold {
+			s.slowLog.Warn("slow operation",
+				"op", op,
+				"duration_ms", float64(d)/float64(time.Millisecond),
+				"request_id", r.Header.Get(wire.HeaderRequestID))
+		}
+	})
+	return h
 }
 
 // varsHandler serves the expvar JSON format with the service's own gauges
@@ -433,9 +542,11 @@ func (s *server) varsHandler() http.Handler {
 			"recovered_leases": st.RecoveredLeases,
 			"replayed_records": st.ReplayedRecords,
 			"truncated_bytes":  st.TruncatedBytes,
+			"recovery_ms":      float64(st.RecoveryDuration) / float64(time.Millisecond),
 			"appends":          st.Appends,
 			"syncs":            st.Syncs,
 			"compactions":      st.Compactions,
+			"journal_bytes":    st.JournalBytes,
 			"journal_records":  st.JournalRecords,
 			"live":             st.Live,
 			"err":              errStr,
@@ -443,12 +554,12 @@ func (s *server) varsHandler() http.Handler {
 	}))
 	vars.Set("renamed_latency", expvar.Func(func() any {
 		return map[string]histSummary{
-			"acquire":       s.lat.acquire.summary(),
-			"acquire_batch": s.lat.acquireBatch.summary(),
-			"renew":         s.lat.renew.summary(),
-			"renew_batch":   s.lat.renewBatch.summary(),
-			"release":       s.lat.release.summary(),
-			"release_batch": s.lat.releaseBatch.summary(),
+			"acquire":       summarize(s.lat.acquire),
+			"acquire_batch": summarize(s.lat.acquireBatch),
+			"renew":         summarize(s.lat.renew),
+			"renew_batch":   summarize(s.lat.renewBatch),
+			"release":       summarize(s.lat.release),
+			"release_batch": summarize(s.lat.releaseBatch),
 		}
 	}))
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -530,11 +641,15 @@ func (s *server) handleRenewBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
+	verdicts := s.met.verdicts["renew_batch"]
 	for i := range results {
 		if rerr := results[i].Err; rerr != nil {
-			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: wire.CodeFor(rerr)}
+			code := wire.CodeFor(rerr)
+			verdicts[code].Inc()
+			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: code}
 			continue
 		}
+		verdicts["ok"].Inc()
 		wl := wire.FromLease(results[i].Lease)
 		out.Results[i].Lease = &wl
 	}
@@ -571,10 +686,15 @@ func (s *server) handleReleaseBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
+	verdicts := s.met.verdicts["release_batch"]
 	for i := range results {
 		if rerr := results[i].Err; rerr != nil {
-			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: wire.CodeFor(rerr)}
+			code := wire.CodeFor(rerr)
+			verdicts[code].Inc()
+			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: code}
+			continue
 		}
+		verdicts["ok"].Inc()
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -688,7 +808,7 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 	resp.Body.Close()
 
 	var acquires, renews, releases, failures atomic.Int64
-	var acquireLat, renewLat, releaseLat latencyHist
+	acquireLat, renewLat, releaseLat := telemetry.NewHistogram(), telemetry.NewHistogram(), telemetry.NewHistogram()
 	start := time.Now()
 	deadline := start.Add(duration)
 	var wg sync.WaitGroup
@@ -698,7 +818,7 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 			defer wg.Done()
 			client := &http.Client{Timeout: 5 * time.Second}
 			owner := fmt.Sprintf("loadgen-%d", id)
-			timedPost := func(h *latencyHist, url string, body, out any) bool {
+			timedPost := func(h *telemetry.Histogram, url string, body, out any) bool {
 				t0 := time.Now()
 				ok := post(client, url, body, out)
 				if ok {
@@ -717,7 +837,7 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 				var cycle []wire.Lease
 				if batch > 1 {
 					var granted wire.Leases
-					if !timedPost(&acquireLat, target+"/v1/acquire_batch",
+					if !timedPost(acquireLat, target+"/v1/acquire_batch",
 						wire.AcquireBatchRequest{Owner: owner, Count: batch}, &granted) {
 						failures.Add(1)
 						continue
@@ -726,7 +846,7 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 					cycle = granted.Leases
 				} else {
 					var l wire.Lease
-					if !timedPost(&acquireLat, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
+					if !timedPost(acquireLat, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
 						failures.Add(1)
 						continue
 					}
@@ -736,14 +856,14 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 				for _, l := range cycle {
 					ok := true
 					for r := 0; r < renewsPerLease && ok; r++ {
-						if timedPost(&renewLat, target+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token}, &l) {
+						if timedPost(renewLat, target+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token}, &l) {
 							renews.Add(1)
 						} else {
 							failures.Add(1)
 							ok = false
 						}
 					}
-					if timedPost(&releaseLat, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
+					if timedPost(releaseLat, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
 						releases.Add(1)
 					} else {
 						failures.Add(1)
@@ -758,7 +878,7 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 	// against a window they didn't run in.
 	elapsed := time.Since(start)
 	total := acquires.Load() + renews.Load() + releases.Load()
-	quantiles := func(h *latencyHist) latSummary {
+	quantiles := func(h *telemetry.Histogram) latSummary {
 		return latSummary{P50: h.Quantile(0.50), P99: h.Quantile(0.99)}
 	}
 	return loadReport{
@@ -771,9 +891,9 @@ func runLoad(target string, clients, renewsPerLease, batch int, duration time.Du
 		Releases:   releases.Load(),
 		Failures:   failures.Load(),
 		OpsPerSec:  float64(total) / elapsed.Seconds(),
-		AcquireLat: quantiles(&acquireLat),
-		RenewLat:   quantiles(&renewLat),
-		ReleaseLat: quantiles(&releaseLat),
+		AcquireLat: quantiles(acquireLat),
+		RenewLat:   quantiles(renewLat),
+		ReleaseLat: quantiles(releaseLat),
 	}, nil
 }
 
@@ -792,6 +912,14 @@ type sessionReport struct {
 	Retries    int64  // heartbeat rounds that hit transport failures
 	Lost       int64  // leases lost mid-run (must be 0 with on-time renewals)
 	MaxToken   uint64 // highest fencing token observed across the holders
+
+	// TransportErrs and SessionP99 come straight from the sessions' own
+	// Stats — the callback-free counters a monitoring scrape would read —
+	// rather than from loadgen-side instrumentation. SessionP99 is the
+	// WORST per-session renew_batch p99, so one laggard session can't
+	// hide inside a fleet-wide aggregate.
+	TransportErrs int64
+	SessionP99    time.Duration
 
 	// MaxToken is what makes the loadgen a crash-restart harness: run it
 	// with -sessions against a -data-dir server, kill -9 the server mid-
@@ -817,6 +945,8 @@ func (r sessionReport) print(out io.Writer) {
 	fmt.Fprintf(out, "  churn      %d acquires, %d releases, %d failures\n",
 		r.ChurnAcquires, r.ChurnReleases, r.ChurnFailures)
 	fmt.Fprintf(out, "  renew_batch latency p50/p99 %v/%v\n", r.RenewLat.P50, r.RenewLat.P99)
+	fmt.Fprintf(out, "  session stats %d transport errors, worst-session p99 %v\n",
+		r.TransportErrs, r.SessionP99)
 	fmt.Fprintf(out, "  renewal throughput %.0f renews/sec\n", r.RenewsPerS)
 }
 
@@ -838,10 +968,8 @@ func runSessionLoad(target string, holders, clients, churn int, leaseTTL, durati
 	}
 	resp.Body.Close()
 
-	var (
-		lost     atomic.Int64
-		renewLat latencyHist
-	)
+	var lost atomic.Int64
+	renewLat := telemetry.NewHistogram()
 	sessions := make([]*leaseclient.Session, 0, clients)
 	closeAll := func() {
 		var wg sync.WaitGroup
@@ -931,13 +1059,18 @@ func runSessionLoad(target string, holders, clients, churn int, leaseTTL, durati
 	// before teardown: closeAll's release_batch round trips are not
 	// renewal throughput. Lost is tallied through OnLost; the
 	// per-session Stats cover the rest.
-	var heartbeats, renews, retries int64
+	var heartbeats, renews, retries, transportErrs int64
 	var maxToken uint64
+	var sessP99 time.Duration
 	for _, s := range sessions {
 		st := s.Stats()
 		heartbeats += st.Heartbeats
 		renews += st.Renewed
 		retries += st.Retries
+		transportErrs += st.TransportErrors
+		if st.HeartbeatLatency.P99 > sessP99 {
+			sessP99 = st.HeartbeatLatency.P99
+		}
 		for _, l := range s.Leases() {
 			if l.Token > maxToken {
 				maxToken = l.Token
@@ -960,6 +1093,8 @@ func runSessionLoad(target string, holders, clients, churn int, leaseTTL, durati
 		Retries:       retries,
 		Lost:          lost.Load(),
 		MaxToken:      maxToken,
+		TransportErrs: transportErrs,
+		SessionP99:    sessP99,
 		ChurnAcquires: churnAcquires.Load(),
 		ChurnReleases: churnReleases.Load(),
 		ChurnFailures: churnFailures.Load(),

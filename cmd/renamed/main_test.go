@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, capacity int, cfg lease.Config) *httptest.Serve
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(mgr))
+	srv := httptest.NewServer(newServer(mgr, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		mgr.Close()

@@ -34,8 +34,7 @@ func bootPersistentServer(t *testing.T, dir string, ln net.Listener) (*lease.Man
 	if _, _, err := mgr.Restore(st.State()); err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(mgr)
-	h.store = st
+	h := newServer(mgr, st)
 	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return mgr, st, srv

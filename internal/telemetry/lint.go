@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a text-exposition payload against the subset of promlint
+// rules this repository commits to, returning one message per problem
+// (empty means clean):
+//
+//   - every sample belongs to a family that declared # HELP and # TYPE
+//     first;
+//   - metric and label names are well-formed;
+//   - counters end in _total and nothing else does;
+//   - histograms expose cumulative non-decreasing _bucket series ending
+//     in le="+Inf", plus _sum and _count, with _count equal to the +Inf
+//     bucket;
+//   - no series (name plus label set) appears twice.
+//
+// It exists so tests — here and in cmd/renamed — can assert "promlint-
+// clean" against the real scrape output without vendoring promlint.
+func Lint(exposition []byte) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	type famState struct {
+		typ     string
+		help    bool
+		sampled bool
+		// histogram bookkeeping, keyed by non-le label prefix
+		lastCum map[string]float64
+		infSeen map[string]float64
+		counts  map[string]float64
+		sums    map[string]bool
+	}
+	fams := map[string]*famState{}
+	var cur string
+	seen := map[string]bool{}
+
+	sampleRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+
+	for ln, line := range strings.Split(string(exposition), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				addf("line %d: HELP without text", lineNo)
+				continue
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famState{lastCum: map[string]float64{}, infSeen: map[string]float64{},
+					counts: map[string]float64{}, sums: map[string]bool{}}
+				fams[name] = f
+			}
+			f.help = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				addf("line %d: TYPE without type", lineNo)
+				continue
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famState{lastCum: map[string]float64{}, infSeen: map[string]float64{},
+					counts: map[string]float64{}, sums: map[string]bool{}}
+				fams[name] = f
+			}
+			if f.sampled {
+				addf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.typ = typ
+			cur = name
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				addf("line %d: counter %s does not end in _total", lineNo, name)
+			}
+			if typ != "counter" && strings.HasSuffix(name, "_total") {
+				addf("line %d: non-counter %s ends in _total", lineNo, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			addf("line %d: unparseable sample %q", lineNo, line)
+			continue
+		}
+		name, labels, valueStr := m[1], m[3], m[4]
+		if seen[name+"{"+labels+"}"] {
+			addf("line %d: duplicate series %s{%s}", lineNo, name, labels)
+		}
+		seen[name+"{"+labels+"}"] = true
+		value, verr := strconv.ParseFloat(valueStr, 64)
+		if verr != nil && valueStr != "+Inf" && valueStr != "-Inf" && valueStr != "NaN" {
+			addf("line %d: unparseable value %q", lineNo, valueStr)
+		}
+		for _, pair := range splitLabels(labels) {
+			lname, _, ok := strings.Cut(pair, "=")
+			if !ok || !labelNameRE.MatchString(lname) {
+				addf("line %d: bad label %q", lineNo, pair)
+			}
+		}
+
+		// Which family does this sample belong to?
+		famName := name
+		suffix := ""
+		if cur != "" && fams[cur] != nil && fams[cur].typ == "histogram" &&
+			(name == cur+"_bucket" || name == cur+"_sum" || name == cur+"_count") {
+			famName, suffix = cur, strings.TrimPrefix(name, cur)
+		}
+		f := fams[famName]
+		if f == nil || f.typ == "" {
+			addf("line %d: sample %s without a preceding TYPE", lineNo, name)
+			continue
+		}
+		if !f.help {
+			addf("line %d: sample %s without a preceding HELP", lineNo, name)
+		}
+		f.sampled = true
+		if famName != cur {
+			// Interleaved families: legal in the format, but this
+			// registry never emits it — treat as a problem.
+			addf("line %d: sample %s outside its family block", lineNo, name)
+		}
+
+		if f.typ == "histogram" {
+			key := stripLE(labels)
+			switch suffix {
+			case "_bucket":
+				le := leValue(labels)
+				if le == "" {
+					addf("line %d: histogram bucket without le", lineNo)
+				}
+				if value < f.lastCum[key] {
+					addf("line %d: histogram %s buckets not cumulative", lineNo, famName)
+				}
+				f.lastCum[key] = value
+				if le == "+Inf" {
+					f.infSeen[key] = value
+				}
+			case "_sum":
+				f.sums[key] = true
+			case "_count":
+				f.counts[key] = value
+			default:
+				addf("line %d: histogram %s has a bare sample", lineNo, famName)
+			}
+		}
+	}
+
+	for name, f := range fams {
+		if f.typ == "histogram" {
+			for key, count := range f.counts {
+				inf, ok := f.infSeen[key]
+				if !ok {
+					addf("histogram %s{%s}: no le=\"+Inf\" bucket", name, key)
+				} else if inf != count {
+					addf("histogram %s{%s}: _count %v != +Inf bucket %v", name, key, count, inf)
+				}
+				if !f.sums[key] {
+					addf("histogram %s{%s}: missing _sum", name, key)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// stripLE removes the le pair from a rendered label set, yielding the
+// per-child key histogram bookkeeping groups by.
+func stripLE(labels string) string {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// leValue extracts the unquoted le value from a label set.
+func leValue(labels string) string {
+	for _, pair := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}

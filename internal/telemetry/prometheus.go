@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// expositionWriter renders exposition lines onto a buffered writer,
+// keeping the first error sticky so collectors don't need error paths.
+type expositionWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *expositionWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString(s)
+}
+
+// sample writes `name{labels} value`.
+func (e *expositionWriter) sample(name, labels string, value float64) {
+	e.writeString(name)
+	if labels != "" {
+		e.writeString("{")
+		e.writeString(labels)
+		e.writeString("}")
+	}
+	e.writeString(" ")
+	e.writeString(formatValue(value))
+	e.writeString("\n")
+}
+
+// bucket writes one cumulative histogram bucket with its le bound.
+func (e *expositionWriter) bucket(name, labels string, le float64, cum int64) {
+	e.bucketLabel(name, labels, formatValue(le), cum)
+}
+
+// bucketInf writes the mandatory trailing +Inf bucket.
+func (e *expositionWriter) bucketInf(name, labels string, cum int64) {
+	e.bucketLabel(name, labels, "+Inf", cum)
+}
+
+func (e *expositionWriter) bucketLabel(name, labels, le string, cum int64) {
+	e.writeString(name)
+	e.writeString("_bucket{")
+	if labels != "" {
+		e.writeString(labels)
+		e.writeString(",")
+	}
+	e.writeString(`le="`)
+	e.writeString(le)
+	e.writeString(`"`)
+	e.writeString("} ")
+	e.writeString(strconv.FormatInt(cum, 10))
+	e.writeString("\n")
+}
+
+// formatValue renders a sample value: integers without a fraction,
+// everything else in Go's shortest round-trip float form (which
+// Prometheus parses).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format: families sorted by name, each with its # HELP and
+// # TYPE lines, children in registration order. Counter and gauge
+// closures (CounterFunc, GaugeFunc) are sampled during the call.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ew := &expositionWriter{w: bw}
+	for _, f := range r.sortedFamilies() {
+		ew.writeString("# HELP ")
+		ew.writeString(f.name)
+		ew.writeString(" ")
+		ew.writeString(escapeHelp(f.help))
+		ew.writeString("\n# TYPE ")
+		ew.writeString(f.name)
+		ew.writeString(" ")
+		ew.writeString(f.kind.String())
+		ew.writeString("\n")
+		f.mu.Lock()
+		children := make([]*series, len(f.children))
+		copy(children, f.children)
+		f.mu.Unlock()
+		for _, s := range children {
+			s.c.collect(ew, f.name, s.labels)
+		}
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegistryHammeredDuringScrapes is the -race concurrency test the
+// telemetry core is required to pass: GOMAXPROCS writer goroutines
+// increment counters, labeled counters and histograms flat out while a
+// scraper renders the full exposition in a loop. Beyond the absence of
+// races, the folded totals must be exact once the writers are done.
+func TestRegistryHammeredDuringScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_ops_total", "Ops.")
+	vec := r.CounterVec("hammer_verdicts_total", "Verdicts.", "code")
+	codes := []*Counter{vec.With("ok"), vec.With("expired"), vec.With("wrong_token")}
+	h := r.Histogram("hammer_duration_seconds", "Latency.")
+	hv := r.HistogramVec("hammer_rt_seconds", "RT.", "op")
+	ops := []*Histogram{hv.With("acquire"), hv.With("renew")}
+	r.GaugeFunc("hammer_live", "Live.", func() float64 { return float64(c.Value()) })
+
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 4 {
+		writers = 4
+	}
+	const perWriter = 20000
+	var stop atomic.Bool
+	var scrapes sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for !stop.Load() {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				codes[i%len(codes)].Inc()
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				ops[i%len(ops)].Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	scrapes.Wait()
+
+	total := int64(writers) * perWriter
+	if got := c.Value(); got != total {
+		t.Fatalf("hammer_ops_total = %d, want %d", got, total)
+	}
+	var verdictSum int64
+	for _, cc := range codes {
+		verdictSum += cc.Value()
+	}
+	if verdictSum != total {
+		t.Fatalf("verdict counters sum to %d, want %d", verdictSum, total)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+}

@@ -1,0 +1,224 @@
+// Package telemetry is the metrics core shared by cmd/renamed, the
+// leaseclient session layer and the bench tooling: counters, gauges and
+// fixed-bucket latency histograms cheap enough for the sub-microsecond
+// renew hot path, collected into a Registry that renders the Prometheus
+// text exposition format.
+//
+// Design constraints, in order:
+//
+//   - Zero allocation on the observation path. Counter.Add,
+//     Counter.Inc and Histogram.Observe allocate nothing and take a
+//     handful of nanoseconds; handles into labeled families
+//     (CounterVec.With, HistogramVec.With) are resolved once at wiring
+//     time, never per operation.
+//   - Write-side sharding. Counters split into cache-line-padded
+//     stripes (one per core, picked by a thread-local random hint) so
+//     GOMAXPROCS goroutines incrementing the same counter do not
+//     serialize on one cache line; stripes are folded only at read
+//     time. Histograms spread naturally across their buckets.
+//   - Lint-clean exposition by construction. Registration panics on
+//     malformed or duplicate metric names, counters must carry the
+//     _total suffix, every family renders HELP and TYPE, and histogram
+//     buckets are cumulative with a trailing +Inf — so a scrape passes
+//     promlint without a vendored dependency checking it.
+//
+// Reads are loosely consistent: a scrape concurrent with writers can
+// see a counter value between two increments of a batch, and a
+// histogram's count can lead its buckets by the in-flight handful.
+// That is the usual contract for monitoring metrics.
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// collector renders one series' sample lines. name is the family name,
+// labels the rendered `k="v",...` pairs without braces (empty for an
+// unlabeled series).
+type collector interface {
+	collect(w *expositionWriter, name, labels string)
+}
+
+// series is one labeled child of a family.
+type series struct {
+	key    string // label values joined, the dedupe key
+	labels string // rendered label pairs, no braces
+	c      collector
+}
+
+// family is one metric name: HELP, TYPE and its ordered children.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	mu         sync.Mutex
+	children   []*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use, but metric
+// registration is meant to happen once at wiring time — registration
+// errors (bad names, duplicates, type mismatches) are programmer
+// errors and panic.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates (or fetches, for vecs adding children) the family.
+func (r *Registry) register(name, help string, kind metricKind, labelNames []string) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if kind == kindCounter && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("telemetry: counter %q must end in _total", name))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("telemetry: metric %q registered without help text", name))
+	}
+	for _, ln := range labelNames {
+		if !labelNameRE.MatchString(ln) {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, ln))
+		}
+		if ln == "le" {
+			panic(fmt.Sprintf("telemetry: metric %q: label name %q is reserved for histogram buckets", name, ln))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, kind: kind, labelNames: labelNames}
+	r.families[name] = f
+	return f
+}
+
+// addChild appends a series to f, deduping on the label-value key so a
+// second With(...) with the same values returns the same handle.
+func (f *family) addChild(labelValues []string, mk func() collector) collector {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.children {
+		if s.key == key {
+			return s.c
+		}
+	}
+	var b strings.Builder
+	for i, ln := range f.labelNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ln)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labelValues[i]))
+		b.WriteByte('"')
+	}
+	s := &series{key: key, labels: b.String(), c: mk()}
+	f.children = append(f.children, s)
+	return s.c
+}
+
+// sortedFamilies snapshots the families in name order for a
+// deterministic exposition.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

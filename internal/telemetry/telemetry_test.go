@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAddIncValue(t *testing.T) {
+	c := NewCounter()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("after Inc+Add(41) = %d, want 42", got)
+	}
+}
+
+// TestCounterFoldsExactlyUnderConcurrency pins the core striping
+// contract: however increments spread across stripes, Value is the
+// exact sum once writers are done.
+func TestCounterFoldsExactlyUnderConcurrency(t *testing.T) {
+	c := NewCounter()
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterVecWithReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "help.", "op", "code")
+	a := v.With("renew", "expired")
+	b := v.With("renew", "expired")
+	if a != b {
+		t.Fatal("With with equal label values returned distinct counters")
+	}
+	other := v.With("renew", "ok")
+	if a == other {
+		t.Fatal("With with different label values returned the same counter")
+	}
+	a.Add(3)
+	if got := b.Value(); got != 3 {
+		t.Fatalf("shared handle Value = %d, want 3", got)
+	}
+}
+
+func TestRegistryRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"invalid name", func(r *Registry) { r.Counter("bad-name_total", "h.") }},
+		{"counter without _total", func(r *Registry) { r.Counter("requests", "h.") }},
+		{"empty help", func(r *Registry) { r.GaugeFunc("g", "", func() float64 { return 0 }) }},
+		{"duplicate", func(r *Registry) {
+			r.GaugeFunc("g", "h.", func() float64 { return 0 })
+			r.GaugeFunc("g", "h.", func() float64 { return 0 })
+		}},
+		{"reserved le label", func(r *Registry) { r.HistogramVec("h_seconds", "h.", "le") }},
+		{"bad label name", func(r *Registry) { r.CounterVec("c_total", "h.", "0op") }},
+		{"vec without labels", func(r *Registry) { r.CounterVec("c_total", "h.") }},
+		{"label value count mismatch", func(r *Registry) {
+			r.CounterVec("c_total", "h.", "op").With("a", "b")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(2 * time.Second)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1-2ms bucket bound", p50)
+	}
+	if p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want within the millisecond buckets", p99)
+	}
+	if p100 := h.Quantile(1); p100 < 2*time.Second {
+		t.Fatalf("p100 = %v, want >= 2s", p100)
+	}
+	if h.Count() != 101 {
+		t.Fatalf("Count = %d, want 101", h.Count())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 10 {
+		t.Fatalf("Summary.Count = %d, want 10", s.Count)
+	}
+	if s.Mean != 100*time.Microsecond {
+		t.Fatalf("Summary.Mean = %v, want 100µs", s.Mean)
+	}
+	if s.P50 < 100*time.Microsecond || s.P99 < s.P50 || s.P95 < s.P50 || s.P90 < s.P50 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+}
+
+// TestHistogramNegativeClamps: a negative duration (clock skew) counts
+// as zero rather than indexing a phantom bucket.
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("Quantile(1) after negative observe = %v, want 0", got)
+	}
+}
+
+func TestGaugeAndCounterFuncSampledAtScrape(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("pulls_total", "Pulls.", func() int64 { return n })
+	r.GaugeFunc("depth", "Depth.", func() float64 { return float64(n) * 0.5 })
+	n = 8
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "pulls_total 8\n") {
+		t.Fatalf("exposition missing pulls_total 8:\n%s", out)
+	}
+	if !strings.Contains(out, "depth 4\n") {
+		t.Fatalf("exposition missing depth 4:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("odd_total", "Odd labels.", "who")
+	v.With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd_total{who="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+	if problems := Lint([]byte(b.String())); len(problems) != 0 {
+		t.Fatalf("lint problems: %v", problems)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-3, "-3"},
+		{0.5, "0.5"},
+		{1.024e-06, "1.024e-06"},
+		{math.Ldexp(1, 36) / 1e9, "68.719476736"},
+	}
+	for _, tc := range cases {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

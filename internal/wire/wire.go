@@ -15,11 +15,27 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"time"
 
 	renaming "repro"
 	"repro/lease"
 )
+
+// HeaderRequestID is the request-tracing header. A client stamps every
+// request with a fresh opaque ID; the server echoes it on the response
+// and attaches it to its slow-operation log lines, so one slow heartbeat
+// in a client's log joins against the server-side record of the same
+// request without any clock alignment.
+const HeaderRequestID = "X-Request-Id"
+
+// NewRequestID returns a fresh 16-hex-digit request ID. IDs are random,
+// not sequential — two clients (or two sessions in one process) never
+// need coordination — and non-cryptographic: they correlate log lines,
+// they do not authenticate anything.
+func NewRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
 
 // AcquireRequest is the body of POST /v1/acquire.
 type AcquireRequest struct {

@@ -171,3 +171,43 @@ func TestReclaimFailedCounted(t *testing.T) {
 		t.Fatalf("after close: metrics = %+v, want ReclaimFailed 3", mt)
 	}
 }
+
+// TestMetricsExposesSweepAndReservedCounters: the Metrics fields the
+// telemetry exposition scrapes — CapacitySweeps counts at-capacity
+// sweep passes actually run, and Reserved tracks reservations + held
+// leases (equal to Live when no acquire is in flight).
+func TestMetricsExposesSweepAndReservedCounters(t *testing.T) {
+	nm, err := renaming.NewLevelArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: 10 * time.Second, SweepInterval: -1, MaxLive: 2, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := m.Acquire("w", time.Second, nil); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if mt := m.Metrics(); mt.Reserved != 2 || mt.Live != 2 {
+		t.Fatalf("Reserved = %d, Live = %d, want 2, 2", mt.Reserved, mt.Live)
+	}
+	clk.Advance(2 * time.Second)
+	// This acquire finds the table full and runs the at-capacity sweep.
+	if _, err := m.Acquire("w", 0, nil); err != nil {
+		t.Fatalf("acquire over expired leases: %v", err)
+	}
+	mt := m.Metrics()
+	if mt.CapacitySweeps < 1 {
+		t.Fatalf("CapacitySweeps = %d, want >= 1", mt.CapacitySweeps)
+	}
+	if mt.CapacitySweepJoins != 0 {
+		t.Fatalf("CapacitySweepJoins = %d, want 0 (no concurrent acquirers)", mt.CapacitySweepJoins)
+	}
+	if mt.Reserved != int64(mt.Live) {
+		t.Fatalf("Reserved = %d disagrees with Live = %d at rest", mt.Reserved, mt.Live)
+	}
+}

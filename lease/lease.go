@@ -192,7 +192,20 @@ type Metrics struct {
 	// as MoirAnderson every reclaim fails with ErrOneShot and the slot is
 	// lost for good; a nonzero value here is the only trace of that leak.
 	ReclaimFailed int64
-	Live          int // unexpired leases currently held
+	// CapacitySweeps counts capacity-pressure sweeps actually executed on
+	// the reserve path, and CapacitySweepJoins counts reservations that
+	// joined an in-flight sweep instead of running their own — the
+	// single-flight coalescing ratio under a rejection storm. Joins
+	// rising much faster than sweeps means the service is pinned at
+	// MaxLive.
+	CapacitySweeps     int64
+	CapacitySweepJoins int64
+	// Reserved is the raw capacity counter: live leases plus in-flight
+	// Acquire reservations that have not yet materialized as leases.
+	// Reserved - Live is the instantaneous acquisition in-flight depth
+	// (plus any expired-but-unreclaimed leases still holding capacity).
+	Reserved int64
+	Live     int // unexpired leases currently held
 }
 
 // Manager grants, renews, expires and reclaims leases over a Namer.
@@ -784,13 +797,16 @@ func (m *Manager) Metrics() Metrics {
 		sh.mu.Unlock()
 	}
 	return Metrics{
-		Acquired:      m.acquired.Load(),
-		Renewed:       m.renewed.Load(),
-		Released:      m.released.Load(),
-		Expired:       m.expired.Load(),
-		Rejected:      m.rejected.Load(),
-		ReclaimFailed: m.reclaimFailed.Load(),
-		Live:          live,
+		Acquired:           m.acquired.Load(),
+		Renewed:            m.renewed.Load(),
+		Released:           m.released.Load(),
+		Expired:            m.expired.Load(),
+		Rejected:           m.rejected.Load(),
+		ReclaimFailed:      m.reclaimFailed.Load(),
+		CapacitySweeps:     m.capSweepsRun.Load(),
+		CapacitySweepJoins: m.capSweepJoined.Load(),
+		Reserved:           m.live.Load(),
+		Live:               live,
 	}
 }
 

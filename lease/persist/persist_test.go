@@ -254,3 +254,39 @@ func TestStickyErrIsFirstError(t *testing.T) {
 		t.Fatalf("sticky error %v, want the first failure", s.err)
 	}
 }
+
+// TestStatsTelemetryFields covers the fields the telemetry exposition
+// scrapes: JournalBytes must grow with every append (framed bytes, so
+// strictly more than the payload) and RecoveryDuration must be set by
+// Open.
+func TestStatsTelemetryFields(t *testing.T) {
+	dir := t.TempDir()
+	s := openAlways(t, dir)
+	if s.Stats().JournalBytes != 0 {
+		t.Fatalf("fresh store reports %d journal bytes, want 0", s.Stats().JournalBytes)
+	}
+	s.ObserveAcquire(lease.Lease{Name: 1, Token: 1, ExpiresAt: at(100)})
+	after1 := s.Stats().JournalBytes
+	if after1 <= 0 {
+		t.Fatalf("JournalBytes = %d after one append, want > 0", after1)
+	}
+	s.ObserveRenew(1, 1, at(200))
+	if got := s.Stats().JournalBytes; got <= after1 {
+		t.Fatalf("JournalBytes = %d after second append, want > %d", got, after1)
+	}
+	if d := s.Stats().RecoveryDuration; d <= 0 {
+		t.Fatalf("RecoveryDuration = %v, want > 0", d)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := openAlways(t, dir)
+	defer r.Close()
+	// JournalBytes counts work since Open, not recovered history.
+	if got := r.Stats().JournalBytes; got != 0 {
+		t.Fatalf("reopened store reports %d journal bytes, want 0", got)
+	}
+	if d := r.Stats().RecoveryDuration; d <= 0 {
+		t.Fatalf("RecoveryDuration after replaying = %v, want > 0", d)
+	}
+}

@@ -145,10 +145,17 @@ type Stats struct {
 	RecoveredLeases int
 	ReplayedRecords int
 	TruncatedBytes  int64
+	// RecoveryDuration is how long Open spent rebuilding state: snapshot
+	// load, journal replay, torn-tail truncation and (when the journal
+	// held anything) the boot compaction.
+	RecoveryDuration time.Duration
 	// Appends, Syncs and Compactions count work since Open.
 	Appends     int64
 	Syncs       int64
 	Compactions int64
+	// JournalBytes is the framed bytes appended to the journal since
+	// Open — the write-amplification numerator for the durability layer.
+	JournalBytes int64
 	// JournalRecords is the journal length since the last snapshot — the
 	// replay cost a crash right now would pay.
 	JournalRecords int64
@@ -190,13 +197,15 @@ type Store struct {
 	payload []byte
 	frame   []byte
 
-	appends     atomic.Int64
-	syncs       atomic.Int64
-	compactions atomic.Int64
+	appends      atomic.Int64
+	syncs        atomic.Int64
+	compactions  atomic.Int64
+	journalBytes atomic.Int64
 
-	recoveredLeases int
-	replayedRecords int
-	truncatedBytes  int64
+	recoveredLeases  int
+	replayedRecords  int
+	truncatedBytes   int64
+	recoveryDuration time.Duration
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -208,6 +217,7 @@ type Store struct {
 // recovery starts from a fresh snapshot. The returned store is ready to
 // observe a manager; read the recovered state with State.
 func Open(dir string, opts Options) (*Store, error) {
+	openStart := time.Now()
 	opts.applyDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
@@ -251,6 +261,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.recoveryDuration = time.Since(openStart)
 	s.wg.Add(1)
 	go s.flushLoop()
 	if s.opts.CompactEvery > 0 {
@@ -407,6 +418,7 @@ func (s *Store) append(rec record) {
 	}
 	s.records++
 	s.appends.Add(1)
+	s.journalBytes.Add(int64(len(s.frame)))
 	if s.opts.Fsync == FsyncAlways {
 		if err := s.syncLocked(); err != nil {
 			s.failLocked(err)
@@ -751,15 +763,17 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		RecoveredLeases: s.recoveredLeases,
-		ReplayedRecords: s.replayedRecords,
-		TruncatedBytes:  s.truncatedBytes,
-		Appends:         s.appends.Load(),
-		Syncs:           s.syncs.Load(),
-		Compactions:     s.compactions.Load(),
-		JournalRecords:  s.records,
-		Live:            len(s.mirror),
-		Err:             s.err,
+		RecoveredLeases:  s.recoveredLeases,
+		ReplayedRecords:  s.replayedRecords,
+		TruncatedBytes:   s.truncatedBytes,
+		RecoveryDuration: s.recoveryDuration,
+		Appends:          s.appends.Load(),
+		Syncs:            s.syncs.Load(),
+		Compactions:      s.compactions.Load(),
+		JournalBytes:     s.journalBytes.Load(),
+		JournalRecords:   s.records,
+		Live:             len(s.mirror),
+		Err:              s.err,
 	}
 }
 

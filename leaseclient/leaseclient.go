@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 	"repro/lease"
 )
@@ -128,12 +129,24 @@ func (c *Config) applyDefaults() error {
 	return nil
 }
 
-// Stats is a snapshot of a session's lifetime counters.
+// Stats is a snapshot of a session's lifetime counters. Everything a
+// monitoring scrape wants is here — no OnHeartbeat callback needed:
+// the session maintains its own per-batch latency histogram and
+// transport-failure counter internally.
 type Stats struct {
 	Renewed    int64 // successful single-lease renewals (across batches)
 	Heartbeats int64 // renew_batch round trips attempted
 	Retries    int64 // heartbeat rounds that failed transport and backed off
 	Lost       int64 // leases dropped because the server refused renewal
+	// TransportErrors counts individual renew_batch round trips that
+	// failed at the transport layer (connect refused, timeout, 5xx).
+	// Retries counts backoff decisions per heartbeat ROUND; this counts
+	// failed REQUESTS, so with multiple chunks per round it can lead.
+	TransportErrors int64
+	// HeartbeatLatency summarizes the wall-clock latency of every
+	// renew_batch round trip (success or failure) since the session
+	// started: count, mean and p50/p90/p95/p99.
+	HeartbeatLatency telemetry.Summary
 }
 
 // Session holds leases against one renamed server and renews them in the
@@ -151,10 +164,12 @@ type Session struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	renewed    atomic.Int64
-	heartbeats atomic.Int64
-	retries    atomic.Int64
-	lost       atomic.Int64
+	renewed       atomic.Int64
+	heartbeats    atomic.Int64
+	retries       atomic.Int64
+	lost          atomic.Int64
+	transportErrs atomic.Int64
+	hbLat         *telemetry.Histogram
 
 	// backoff is the current transient-failure retry delay; reset to 0
 	// by any successful heartbeat round.
@@ -172,6 +187,7 @@ func NewSession(cfg Config) (*Session, error) {
 		leases: make(map[int]Lease),
 		kick:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
+		hbLat:  telemetry.NewHistogram(),
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -293,10 +309,12 @@ func (s *Session) Leases() []Lease {
 // Stats snapshots the session counters.
 func (s *Session) Stats() Stats {
 	return Stats{
-		Renewed:    s.renewed.Load(),
-		Heartbeats: s.heartbeats.Load(),
-		Retries:    s.retries.Load(),
-		Lost:       s.lost.Load(),
+		Renewed:          s.renewed.Load(),
+		Heartbeats:       s.heartbeats.Load(),
+		Retries:          s.retries.Load(),
+		Lost:             s.lost.Load(),
+		TransportErrors:  s.transportErrs.Load(),
+		HeartbeatLatency: s.hbLat.Summary(),
 	}
 }
 
@@ -446,6 +464,10 @@ func (s *Session) heartbeat() {
 		var results wire.BatchResults
 		err := s.post(context.Background(), "/v1/renew_batch",
 			wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk}, &results)
+		s.hbLat.Observe(time.Since(start))
+		if err != nil {
+			s.transportErrs.Add(1)
+		}
 		if s.cfg.OnHeartbeat != nil {
 			s.cfg.OnHeartbeat(len(chunk), time.Since(start), err)
 		}
@@ -532,13 +554,14 @@ func (s *Session) wake() {
 // and answered. Distinguishable (errors.As) from transport failures,
 // where the request may never have arrived at all.
 type statusError struct {
-	path   string
-	status int
-	msg    string
+	path      string
+	status    int
+	msg       string
+	requestID string
 }
 
 func (e *statusError) Error() string {
-	return fmt.Sprintf("leaseclient: %s: HTTP %d: %s", e.path, e.status, e.msg)
+	return fmt.Sprintf("leaseclient: %s [rid=%s]: HTTP %d: %s", e.path, e.requestID, e.status, e.msg)
 }
 
 // isGone reports whether err means the lease no longer exists server-
@@ -553,7 +576,10 @@ func isGone(err error) bool {
 // post sends one JSON request and decodes a 2xx response into out (when
 // non-nil). Non-2xx responses decode the wire error body and come back
 // as "<status>: <message>" errors; the typed per-item errors flow
-// through wire.ErrFor instead.
+// through wire.ErrFor instead. Every request carries a fresh
+// wire.HeaderRequestID, and transport and status errors embed it so a
+// failure in a client log joins against the server's record of the
+// same request.
 func (s *Session) post(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -564,9 +590,11 @@ func (s *Session) post(ctx context.Context, path string, body, out any) error {
 		return fmt.Errorf("leaseclient: %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	reqID := wire.NewRequestID()
+	req.Header.Set(wire.HeaderRequestID, reqID)
 	resp, err := s.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("leaseclient: %s: %w", path, err)
+		return fmt.Errorf("leaseclient: %s [rid=%s]: %w", path, reqID, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -576,7 +604,7 @@ func (s *Session) post(ctx context.Context, path string, body, out any) error {
 			msg = we.Error
 		}
 		io.Copy(io.Discard, resp.Body)
-		return &statusError{path: path, status: resp.StatusCode, msg: msg}
+		return &statusError{path: path, status: resp.StatusCode, msg: msg, requestID: reqID}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

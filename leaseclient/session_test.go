@@ -568,3 +568,50 @@ func TestReleaseTransportFailureReAdopts(t *testing.T) {
 		t.Fatalf("Acquire after Close = %v, want ErrSessionClosed", err)
 	}
 }
+
+// TestSessionStatsScrapeableWithoutCallbacks: a monitoring scrape must
+// be able to read heartbeat health — latency distribution and transport
+// failures — straight off Stats(), with NO OnHeartbeat or OnLost
+// callbacks wired. The callbacks are for reacting; Stats is for
+// observing, and observing must not require instrumenting construction.
+func TestSessionStatsScrapeableWithoutCallbacks(t *testing.T) {
+	f := newFakeServer(t, 30*time.Second)
+	s, err := NewSession(Config{
+		Target: f.url(),
+		Owner:  "scrape",
+		TTL:    300 * time.Millisecond,
+		// Deliberately no OnHeartbeat, no OnLost.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 5*time.Second, "3 heartbeat rounds", func() bool {
+		return s.Stats().HeartbeatLatency.Count >= 3
+	})
+	st := s.Stats()
+	hb := st.HeartbeatLatency
+	if hb.Mean <= 0 || hb.P50 <= 0 {
+		t.Fatalf("heartbeat latency summary empty with traffic: %+v", hb)
+	}
+	if hb.P50 > hb.P99 {
+		t.Fatalf("non-monotonic latency summary: %+v", hb)
+	}
+	if st.TransportErrors != 0 {
+		t.Fatalf("TransportErrors = %d against a healthy server, want 0", st.TransportErrors)
+	}
+
+	// A scripted outage must surface as TransportErrors — the scrape sees
+	// the 503s even though nothing registered a callback.
+	f.failRenews.Store(2)
+	waitFor(t, 10*time.Second, "transport errors recorded", func() bool {
+		return s.Stats().TransportErrors >= 2
+	})
+	if got := s.Stats().TransportErrors; got != 2 {
+		t.Fatalf("TransportErrors = %d, want exactly the 2 scripted failures", got)
+	}
+}
