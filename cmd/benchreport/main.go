@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
@@ -20,16 +21,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("out", "BENCH_6.json", "report file to write (run mode)")
+		out       = fs.String("out", "BENCH_7.json", "report file to write (run mode)")
 		benchRe   = fs.String("bench", "AcquireRelease|Renew|RenewBatch|JournaledChurn|Recovery", "benchmark regex passed to go test -bench")
 		benchTime = fs.String("benchtime", "0.3s", "go test -benchtime per benchmark")
 		skipRe    = fs.String("skip", ".*/fsync=always", "go test -skip regex; default excludes host-IO-bound benchmarks whose numbers gate flakily")
 		count     = fs.Int("count", 1, "go test -count; runs are averaged in the report")
 		pkgs      = fs.String("pkgs", "./lease,./lease/persist", "comma-separated packages to benchmark")
 		target    = fs.String("target", "", "live renamed base URL for the loadgen pass (default: in-process engine)")
+		targetBin = fs.String("target-bin", "", "live renamed bin://host:port target for the saturated per-wire passes; needs -target too for the HTTP side")
+		spawn     = fs.Bool("spawn", false, "build and launch a renamed server (HTTP + binary listeners) for the per-wire passes, instead of -target/-target-bin")
 		loadDur   = fs.Duration("loadgen", 2*time.Second, "loadgen pass duration (0 disables)")
 		loadN     = fs.Int("loadgen-leases", 4096, "standing leases in the loadgen pass")
 		loadBatch = fs.Int("loadgen-batch", 512, "renew batch size in the engine loadgen pass")
+		liveBatch = fs.Int("loadgen-live-batch", 8, "renew batch size in the saturated per-wire passes (heartbeat-sized, so the wire dominates)")
 
 		diff  = fs.Bool("diff", false, "diff mode: compare -old against -new instead of running")
 		oldP  = fs.String("old", "", "baseline report (diff mode)")
@@ -86,6 +90,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Derived.RenewsPerSec = rps
 	}
 
+	// The per-wire passes compare the two transports against one live
+	// server: saturated heartbeat-sized renew_batch calls over HTTP/JSON
+	// round trips versus the pipelined binary protocol.
+	httpTarget, binTarget := *target, *targetBin
+	if *spawn && *loadDur > 0 {
+		var stop func()
+		var err error
+		httpTarget, binTarget, stop, err = spawnServer(stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: spawn: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *loadDur > 0 && httpTarget != "" && binTarget != "" {
+		fmt.Fprintf(stderr, "benchreport: saturated HTTP loadgen against %s for %v\n", httpTarget, *loadDur)
+		rps, err := transportRenewsPerSec(httpTarget, *loadN, *liveBatch, 4, *loadDur)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: http loadgen: %v\n", err)
+			return 1
+		}
+		rep.Derived.RenewsPerSecHTTP = rps
+		addr := strings.TrimPrefix(binTarget, "bin://")
+		fmt.Fprintf(stderr, "benchreport: pipelined binary loadgen against %s for %v\n", binTarget, *loadDur)
+		rps, err = binPipelinedRenewsPerSec(addr, *loadN, *liveBatch, 8, *loadDur)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: bin loadgen: %v\n", err)
+			return 1
+		}
+		rep.Derived.RenewsPerSecBin = rps
+	}
+
 	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintf(stderr, "benchreport: %v\n", err)
 		return 1
@@ -100,8 +136,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if d := rep.Derived; d.RenewsPerSec > 0 {
 		fmt.Fprintf(stdout, ", %.0f renews/s", d.RenewsPerSec)
 	}
+	if d := rep.Derived; d.RenewsPerSecHTTP > 0 && d.RenewsPerSecBin > 0 {
+		fmt.Fprintf(stdout, ", live http %.0f vs bin %.0f renews/s (%.1fx)",
+			d.RenewsPerSecHTTP, d.RenewsPerSecBin, d.RenewsPerSecBin/d.RenewsPerSecHTTP)
+	}
 	fmt.Fprintln(stdout)
 	return 0
+}
+
+// spawnServer builds cmd/renamed into a temp dir and launches it with
+// both listeners on ephemeral ports, parsing the startup banners for
+// the actual addresses. stop tears the server down (SIGTERM, wait) and
+// removes the binary.
+func spawnServer(stderr io.Writer) (httpTarget, binTarget string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "benchreport")
+	if err != nil {
+		return "", "", nil, err
+	}
+	bin := dir + "/renamed"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/renamed")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, fmt.Errorf("go build ./cmd/renamed: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-listen-bin", "127.0.0.1:0",
+		"-capacity", "65536", "-ttl", "1h")
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return "", "", nil, err
+	}
+	stop = func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+		os.RemoveAll(dir)
+	}
+	// Both banners end in "on host:port"; the bin one names its protocol.
+	addrs := make(chan [2]string, 1)
+	go func() {
+		var httpAddr, binAddr string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fields := strings.Fields(line)
+			if len(fields) < 2 || fields[len(fields)-2] != "on" {
+				continue
+			}
+			addr := fields[len(fields)-1]
+			if strings.Contains(line, "binary protocol") {
+				binAddr = addr
+			} else if strings.Contains(line, "serving") {
+				httpAddr = addr
+			}
+			if httpAddr != "" && binAddr != "" {
+				addrs <- [2]string{httpAddr, binAddr}
+				break
+			}
+		}
+		// Keep draining so the server never blocks on a full stdout pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case a := <-addrs:
+		return "http://" + a[0], "bin://" + a[1], stop, nil
+	case <-time.After(30 * time.Second):
+		stop()
+		return "", "", nil, fmt.Errorf("renamed did not report its listen addresses within 30s")
+	}
 }
 
 // goBench shells out to the go tool for one package's benchmarks. -run

@@ -175,6 +175,29 @@ func TestRunDiffExitCodes(t *testing.T) {
 	}
 }
 
+// TestDiffToleratesNewDerivedRows: a derived row present only in the
+// NEWER report (the per-wire renews/s rows that appeared with the
+// binary transport) must not trip the gate against an older baseline —
+// but a drop in a row both reports carry still must.
+func TestDiffToleratesNewDerivedRows(t *testing.T) {
+	old := report(nil, Derived{RenewsPerSec: 1e6})
+	cur := report(nil, Derived{RenewsPerSec: 1e6, RenewsPerSecHTTP: 5e4, RenewsPerSecBin: 5e5})
+	lines, regs := diffReports(old, cur, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("new-only derived rows flagged as regressions: %v", regs)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "renews_per_sec_bin") || !strings.Contains(joined, "no baseline") {
+		t.Fatalf("new derived rows not reported informationally:\n%s", joined)
+	}
+	// Once both reports carry the row, a drop beyond the band gates.
+	worse := report(nil, Derived{RenewsPerSec: 1e6, RenewsPerSecHTTP: 5e4, RenewsPerSecBin: 1e5})
+	_, regs = diffReports(cur, worse, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "renews_per_sec_bin") {
+		t.Fatalf("regs = %v, want the bin throughput drop flagged", regs)
+	}
+}
+
 func TestEngineLoadgen(t *testing.T) {
 	rps, err := engineRenewsPerSec(64, 16, 50*time.Millisecond)
 	if err != nil {

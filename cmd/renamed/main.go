@@ -1,16 +1,26 @@
-// Command renamed (rename-daemon) serves long-lived renaming over HTTP:
-// clients acquire a small integer identity with a TTL lease, keep it alive
-// with renewals, and release it when done. Expired leases are reclaimed by
-// a background sweeper, so crashed clients only waste a name for one TTL.
+// Command renamed (rename-daemon) serves long-lived renaming over HTTP
+// and an optional binary protocol: clients acquire a small integer
+// identity with a TTL lease, keep it alive with renewals, and release
+// it when done. Expired leases are reclaimed by a background sweeper,
+// so crashed clients only waste a name for one TTL.
 //
-// The service is the system layer over this repository's algorithm stack:
-// an HTTP handler drives lease.Manager, which drives a renaming.Namer —
-// by default the LevelArray, whose constant expected probe bound is built
-// for exactly this sustained acquire/release traffic.
+// The service is the system layer over this repository's algorithm
+// stack: transport adapters (HTTP/JSON and internal/wire/binproto)
+// drive one internal/service core, which drives lease.Manager, which
+// drives a renaming.Namer — by default the LevelArray, whose constant
+// expected probe bound is built for exactly this sustained
+// acquire/release traffic.
 //
 // Server mode:
 //
 //	renamed -addr :8077 -capacity 4096 -algo levelarray -ttl 30s
+//
+// With -listen-bin the same lease table is additionally served over the
+// length-prefixed binary protocol (persistent pipelined connections,
+// the leaseclient "bin://host:port" target scheme) — the fast path for
+// heartbeat-dominated traffic:
+//
+//	renamed -addr :8077 -listen-bin :9077
 //
 // With -data-dir the lease table is durable: every acquire/renew/release/
 // expiry is journaled (CRC-framed, append-only, fsync policy via -fsync)
@@ -53,42 +63,33 @@
 // (the leaseclient package wraps all of this in a Session).
 //
 // Load-generator mode hammers a running server and reports throughput;
-// -batch k switches its acquisition phase to /v1/acquire_batch, and
+// -target accepts either scheme (http://host:port or bin://host:port),
+// -batch k switches the acquisition phase to batches of k, and
 // -sessions n switches to a standing population of n heartbeating
 // holders driven through leaseclient sessions (with -churn c churning
 // acquire/release clients alongside):
 //
 //	renamed -load -target http://localhost:8077 -clients 32 -duration 5s
-//	renamed -load -target http://localhost:8077 -clients 32 -batch 8
-//	renamed -load -target http://localhost:8077 -sessions 10000 -lease-ttl 3s
+//	renamed -load -target bin://localhost:9077 -clients 32 -batch 8
+//	renamed -load -target bin://localhost:9077 -sessions 10000 -lease-ttl 3s
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	renaming "repro"
-	"repro/internal/telemetry"
-	"repro/internal/wire"
+	"repro/internal/service"
 	"repro/lease"
 	"repro/lease/persist"
-	"repro/leaseclient"
 )
 
 func main() {
@@ -101,26 +102,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("renamed", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8077", "listen address (server mode)")
-		capacity = fs.Int("capacity", 4096, "maximum concurrently leased names (hard cap, enforced; also sizes the namer)")
-		algo     = fs.String("algo", "levelarray", "namer algorithm: levelarray, rebatching, adaptive, fastadaptive, uniform")
-		namerDSN = fs.String("namer", "", "namer DSN, e.g. 'levelarray?n=4096&probes=3' or 'rebatching?n=1024&eps=0.5&t0=6'; overrides -algo/-capacity/-seed (see renaming.Open)")
-		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
-		sweep    = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
-		seed     = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
-		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight requests (server mode)")
-		dataDir  = fs.String("data-dir", "", "durability directory (journal + snapshot); leases survive crash and restart. Empty = in-memory only (server mode)")
-		fsyncStr = fs.String("fsync", "interval", "journal fsync policy with -data-dir: always (durable before reply), interval (bounded loss), never (OS-paced)")
-		compact  = fs.Duration("compact-every", 0, "snapshot-compaction check cadence with -data-dir (0 = 1m, negative disables)")
-		slowOp   = fs.Duration("slow-op", 250*time.Millisecond, "log a structured slow-operation line (with the request's X-Request-Id) for /v1 handlers slower than this; 0 disables (server mode)")
-		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (server mode)")
+		addr      = fs.String("addr", ":8077", "listen address (server mode)")
+		listenBin = fs.String("listen-bin", "", "additional listen address for the binary protocol (bin:// targets); empty disables (server mode)")
+		capacity  = fs.Int("capacity", 4096, "maximum concurrently leased names (hard cap, enforced; also sizes the namer)")
+		algo      = fs.String("algo", "levelarray", "namer algorithm: levelarray, rebatching, adaptive, fastadaptive, uniform")
+		namerDSN  = fs.String("namer", "", "namer DSN, e.g. 'levelarray?n=4096&probes=3' or 'rebatching?n=1024&eps=0.5&t0=6'; overrides -algo/-capacity/-seed (see renaming.Open)")
+		ttl       = fs.Duration("ttl", 30*time.Second, "default lease TTL")
+		sweep     = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
+		seed      = fs.Uint64("seed", 0, "probe-randomness seed (0 = library default)")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight requests (server mode)")
+		dataDir   = fs.String("data-dir", "", "durability directory (journal + snapshot); leases survive crash and restart. Empty = in-memory only (server mode)")
+		fsyncStr  = fs.String("fsync", "interval", "journal fsync policy with -data-dir: always (durable before reply), interval (bounded loss), never (OS-paced)")
+		compact   = fs.Duration("compact-every", 0, "snapshot-compaction check cadence with -data-dir (0 = 1m, negative disables)")
+		slowOp    = fs.Duration("slow-op", 250*time.Millisecond, "log a structured slow-operation line (with the request's X-Request-Id) for /v1 handlers slower than this; 0 disables (server mode)")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (server mode)")
 
 		load     = fs.Bool("load", false, "run as load generator instead of server")
-		target   = fs.String("target", "http://localhost:8077", "server base URL (load mode)")
+		target   = fs.String("target", "http://localhost:8077", "server base URL, http:// or bin:// (load mode)")
 		clients  = fs.Int("clients", 16, "concurrent clients (load mode)")
 		duration = fs.Duration("duration", 5*time.Second, "how long to generate load (load mode)")
 		renews   = fs.Int("renews", 2, "renewals per lease before release (load mode)")
-		batch    = fs.Int("batch", 1, "names acquired per cycle; > 1 uses the /v1/acquire_batch endpoint (load mode)")
+		batch    = fs.Int("batch", 1, "names acquired per cycle; > 1 uses batch acquisition (load mode)")
 
 		sessionsN = fs.Int("sessions", 0, "standing heartbeating holders kept alive through leaseclient sessions; > 0 replaces the classic acquire/renew/release cycle (load mode)")
 		churn     = fs.Int("churn", 0, "churning acquire/release clients running alongside the -sessions holders (load mode)")
@@ -227,6 +229,25 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 	if *pprofOn {
 		handler.enablePprof()
 	}
+	// The binary transport serves the SAME core on its own port: one
+	// lease table, two wires. serveGraceful closes it during shutdown.
+	if *listenBin != "" {
+		lnBin, err := net.Listen("tcp", *listenBin)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listen-bin %s: %w", *listenBin, err)
+		}
+		handler.binSrv = service.NewBinServer(handler.core, service.BinConfig{
+			SlowThreshold: *slowOp,
+			SlowLog:       handler.slowLog,
+		})
+		fmt.Fprintf(out, "renamed: serving binary protocol (bin://) on %s\n", lnBin.Addr())
+		go func() {
+			if err := handler.binSrv.Serve(lnBin); err != nil {
+				fmt.Fprintln(os.Stderr, "renamed: binary listener:", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Handler: handler,
 		// Slow-client bounds: a peer that stalls mid-headers or idles
@@ -281,6 +302,14 @@ func shutdownManager(mgr *lease.Manager, store *persist.Store) error {
 	return store.Close()
 }
 
+// closeBin shuts the handler's binary listener down, when one is
+// attached; its in-flight operations abort with the server context.
+func closeBin(srv *http.Server) {
+	if h, ok := srv.Handler.(*server); ok && h.binSrv != nil {
+		h.binSrv.Close()
+	}
+}
+
 // serveGraceful runs srv on ln until ctx is cancelled (a shutdown signal
 // in production), drains in-flight requests for up to drain, forces any
 // stragglers closed, and finally shuts the manager down — preserving the
@@ -293,6 +322,7 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 		// The listener failed on its own; nothing left to drain. A store
 		// failure here is just as lossy as on the signal path — say so
 		// even when the listener error wins the return value.
+		closeBin(srv)
 		if serr := shutdownManager(mgr, store); serr != nil {
 			fmt.Fprintf(out, "renamed: durable shutdown FAILED: %v\n", serr)
 			if err == nil {
@@ -311,6 +341,10 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 		srv.Close()
 	}
 	<-serveErr // srv.Serve has returned http.ErrServerClosed
+	// Binary connections are persistent — there is no request boundary to
+	// drain to, so they are cut once the HTTP drain is over; heartbeating
+	// clients redial the new process and retry inside their TTL budget.
+	closeBin(srv)
 	// In-flight requests are done: quiesce and (with a store) write the
 	// shutdown snapshot. A store error here means the final snapshot or
 	// flush failed — the shutdown was lossy, so it must fail loudly, not
@@ -333,41 +367,6 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 	}
 	fmt.Fprintln(out, "renamed: shutdown complete")
 	return nil
-}
-
-// logFinalSnapshot emits the shutdown metrics snapshot: one structured
-// log line with the counters an operator wants in the last lines before
-// the process exits (and that a log pipeline can parse without scraping
-// /metrics mid-shutdown). Safe after Close/Shutdown — every source here
-// reads atomics or mutex-guarded snapshots.
-func (s *server) logFinalSnapshot(out io.Writer) {
-	lm := s.mgr.Metrics()
-	attrs := []any{
-		"uptime_s", time.Since(s.start).Seconds(),
-		"requests", s.requests.Load(),
-		"errors", s.errors.Load(),
-		"acquired", lm.Acquired,
-		"renewed", lm.Renewed,
-		"released", lm.Released,
-		"expired", lm.Expired,
-		"rejected", lm.Rejected,
-		"live", lm.Live,
-		"renew_p99_us", summarize(s.lat.renewBatch).P99Us,
-	}
-	if s.store != nil {
-		st := s.store.Stats()
-		attrs = append(attrs,
-			"persist_appends", st.Appends,
-			"persist_fsyncs", st.Syncs,
-			"persist_compactions", st.Compactions,
-			"persist_journal_bytes", st.JournalBytes,
-			"persist_live", st.Live,
-		)
-		if st.Err != nil {
-			attrs = append(attrs, "persist_err", st.Err.Error())
-		}
-	}
-	slog.New(slog.NewTextHandler(out, nil)).Info("final metrics snapshot", attrs...)
 }
 
 // buildNamer constructs the requested namer through the renaming driver
@@ -404,724 +403,4 @@ func buildServerNamer(dsn, algo string, capacity int, capacitySet bool, seed uin
 		}
 	}
 	return nm, maxLive, dsn, nil
-}
-
-// server is the HTTP front end over a lease.Manager.
-type server struct {
-	mgr   *lease.Manager
-	mux   *http.ServeMux
-	start time.Time
-	// store is the optional durability layer; non-nil only with -data-dir.
-	// The handlers never touch it (the manager's observer hook does the
-	// journaling); it is here for the persistence gauges.
-	store *persist.Store
-
-	// met is the Prometheus surface (GET /metrics); the /debug/vars
-	// expvar view reads the same histograms, so the two cannot disagree.
-	met *serverMetrics
-
-	// request counters, exported through expvar-style /debug/vars.
-	requests atomic.Int64
-	errors   atomic.Int64
-
-	// per-operation latency histograms: one telemetry.Histogram per /v1
-	// op, shared between /metrics (cumulative buckets) and /debug/vars
-	// (µs quantile summaries).
-	lat struct {
-		acquire, acquireBatch, renew, renewBatch, release, releaseBatch *telemetry.Histogram
-	}
-
-	// slowThreshold gates the structured slow-operation log line; 0
-	// disables it. slowLog defaults to stderr; tests redirect it.
-	slowThreshold time.Duration
-	slowLog       *slog.Logger
-}
-
-// newServer wires the routes and metrics for one manager. store may be
-// nil (in-memory mode); when set, the persistence series register too.
-func newServer(mgr *lease.Manager, store *persist.Store) *server {
-	s := &server{
-		mgr:     mgr,
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		store:   store,
-		slowLog: slog.New(slog.NewTextHandler(os.Stderr, nil)),
-	}
-	s.met = newServerMetrics(s)
-	s.lat.acquire = s.timed("acquire", s.handleAcquire)
-	s.lat.acquireBatch = s.timed("acquire_batch", s.handleAcquireBatch)
-	s.lat.renew = s.timed("renew", s.handleRenew)
-	s.lat.renewBatch = s.timed("renew_batch", s.handleRenewBatch)
-	s.lat.release = s.timed("release", s.handleRelease)
-	s.lat.releaseBatch = s.timed("release_batch", s.handleReleaseBatch)
-	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	s.mux.Handle("GET /debug/vars", s.varsHandler())
-	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", telemetry.ContentType)
-		s.met.reg.WritePrometheus(w)
-	})
-	return s
-}
-
-// enablePprof mounts net/http/pprof on the server's private mux (the
-// package's init-time handlers live on http.DefaultServeMux, which this
-// server never serves). Profiling endpoints cost CPU and reveal internal
-// state, so they are opt-in via -pprof.
-func (s *server) enablePprof() {
-	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	// Echo the client's request ID on every response so either side of a
-	// slow or failed call can quote the same handle; mint one for bare
-	// callers (curl) so the slow-op log never carries an empty id. The
-	// mint is written back onto the request header, which is where
-	// timed() reads it from.
-	rid := r.Header.Get(wire.HeaderRequestID)
-	if rid == "" {
-		rid = wire.NewRequestID()
-		r.Header.Set(wire.HeaderRequestID, rid)
-	}
-	w.Header().Set(wire.HeaderRequestID, rid)
-	s.mux.ServeHTTP(w, r)
-}
-
-// timed mounts fn as "POST /v1/<op>" with the per-op instrumentation:
-// request counter, latency histogram (returned, shared with /debug/vars)
-// and the slow-operation log line carrying the request's X-Request-Id.
-func (s *server) timed(op string, fn http.HandlerFunc) *telemetry.Histogram {
-	h := s.met.latency.With(op)
-	reqs := s.met.requests.With(op)
-	s.mux.HandleFunc("POST /v1/"+op, func(w http.ResponseWriter, r *http.Request) {
-		reqs.Inc()
-		start := time.Now()
-		fn(w, r)
-		d := time.Since(start)
-		h.Observe(d)
-		if s.slowThreshold > 0 && d >= s.slowThreshold {
-			s.slowLog.Warn("slow operation",
-				"op", op,
-				"duration_ms", float64(d)/float64(time.Millisecond),
-				"request_id", r.Header.Get(wire.HeaderRequestID))
-		}
-	})
-	return h
-}
-
-// varsHandler serves the expvar JSON format with the service's own gauges
-// under a private map, avoiding the process-global expvar registry so
-// multiple servers (tests) can coexist.
-func (s *server) varsHandler() http.Handler {
-	vars := expvar.Map{}
-	vars.Set("renamed_requests", expvar.Func(func() any { return s.requests.Load() }))
-	vars.Set("renamed_errors", expvar.Func(func() any { return s.errors.Load() }))
-	vars.Set("renamed_uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
-	vars.Set("renamed_lease", expvar.Func(func() any { return s.mgr.Metrics() }))
-	vars.Set("renamed_persist", expvar.Func(func() any {
-		// s.store is assigned after newServer returns (run() wires it),
-		// so the nil check must live here in the closure, not at
-		// registration time; null means "no -data-dir".
-		if s.store == nil {
-			return nil
-		}
-		st := s.store.Stats()
-		// Stats.Err is an error (not JSON-friendly); flatten it.
-		errStr := ""
-		if st.Err != nil {
-			errStr = st.Err.Error()
-		}
-		return map[string]any{
-			"recovered_leases": st.RecoveredLeases,
-			"replayed_records": st.ReplayedRecords,
-			"truncated_bytes":  st.TruncatedBytes,
-			"recovery_ms":      float64(st.RecoveryDuration) / float64(time.Millisecond),
-			"appends":          st.Appends,
-			"syncs":            st.Syncs,
-			"compactions":      st.Compactions,
-			"journal_bytes":    st.JournalBytes,
-			"journal_records":  st.JournalRecords,
-			"live":             st.Live,
-			"err":              errStr,
-		}
-	}))
-	vars.Set("renamed_latency", expvar.Func(func() any {
-		return map[string]histSummary{
-			"acquire":       summarize(s.lat.acquire),
-			"acquire_batch": summarize(s.lat.acquireBatch),
-			"renew":         summarize(s.lat.renew),
-			"renew_batch":   summarize(s.lat.renewBatch),
-			"release":       summarize(s.lat.release),
-			"release_batch": summarize(s.lat.releaseBatch),
-		}
-	}))
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{%q: %s}\n", "renamed", vars.String())
-	})
-}
-
-// The JSON wire types live in internal/wire, shared with the leaseclient
-// session layer so server and client cannot drift.
-
-func (s *server) handleAcquire(w http.ResponseWriter, r *http.Request) {
-	var req wire.AcquireRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	// The request context ties the probe sequence to the client: a peer
-	// that disconnects mid-acquire cancels instead of leaving behind a
-	// lease nobody will renew.
-	l, err := s.mgr.AcquireCtx(r.Context(), req.Owner, wire.TTLFromMs(req.TTLms), req.Meta)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, wire.FromLease(l))
-}
-
-func (s *server) handleAcquireBatch(w http.ResponseWriter, r *http.Request) {
-	var req wire.AcquireBatchRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	ls, err := s.mgr.AcquireBatch(r.Context(), req.Owner, req.Count, wire.TTLFromMs(req.TTLms), req.Meta)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	out := wire.Leases{Leases: make([]wire.Lease, len(ls))}
-	for i, l := range ls {
-		out.Leases[i] = wire.FromLease(l)
-	}
-	s.writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleRenew(w http.ResponseWriter, r *http.Request) {
-	var req wire.RenewRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	l, err := s.mgr.Renew(req.Name, req.Token, wire.TTLFromMs(req.TTLms))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, wire.FromLease(l))
-}
-
-// handleRenewBatch is the heartbeat hot path: one request renews every
-// lease a session holds through one lock visit per involved stripe. The
-// response is per-item — 200 even when individual items failed — because
-// a session must learn exactly which leases it lost; only a request that
-// could not be processed at all (malformed body, closed manager, context
-// already done) gets a non-2xx status.
-func (s *server) handleRenewBatch(w http.ResponseWriter, r *http.Request) {
-	var req wire.RenewBatchRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	items := make([]lease.RenewItem, len(req.Items))
-	for i, it := range req.Items {
-		items[i] = lease.RenewItem{Name: it.Name, Token: it.Token}
-	}
-	// The request context is threaded through: a client that disconnects
-	// mid-batch stops the stripe walk instead of renewing leases for a
-	// session that is gone.
-	results, err := s.mgr.RenewBatch(r.Context(), items, wire.TTLFromMs(req.TTLms))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
-	verdicts := s.met.verdicts["renew_batch"]
-	for i := range results {
-		if rerr := results[i].Err; rerr != nil {
-			code := wire.CodeFor(rerr)
-			verdicts[code].Inc()
-			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: code}
-			continue
-		}
-		verdicts["ok"].Inc()
-		wl := wire.FromLease(results[i].Lease)
-		out.Results[i].Lease = &wl
-	}
-	s.writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	var req wire.ReleaseRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	if err := s.mgr.Release(req.Name, req.Token); err != nil {
-		s.writeError(w, err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// handleReleaseBatch ends many leases in one request with per-item
-// outcomes, mirroring handleRenewBatch — the shutdown path of a session
-// holding hundreds of names must not take hundreds of round trips.
-func (s *server) handleReleaseBatch(w http.ResponseWriter, r *http.Request) {
-	var req wire.ReleaseBatchRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	items := make([]lease.ReleaseItem, len(req.Items))
-	for i, it := range req.Items {
-		items[i] = lease.ReleaseItem{Name: it.Name, Token: it.Token}
-	}
-	results, err := s.mgr.ReleaseBatch(r.Context(), items)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	out := wire.BatchResults{Results: make([]wire.BatchResult, len(results))}
-	verdicts := s.met.verdicts["release_batch"]
-	for i := range results {
-		if rerr := results[i].Err; rerr != nil {
-			code := wire.CodeFor(rerr)
-			verdicts[code].Inc()
-			out.Results[i] = wire.BatchResult{Error: rerr.Error(), Code: code}
-			continue
-		}
-		verdicts["ok"].Inc()
-	}
-	s.writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
-	ls := s.mgr.Leases()
-	out := wire.Leases{Leases: make([]wire.Lease, len(ls))}
-	for i, l := range ls {
-		entry := wire.FromLease(l)
-		// Fencing tokens are capabilities: only the holder (who got the
-		// token from acquire) may renew or release. Publishing them on a
-		// read endpoint would let any client hijack any lease.
-		entry.Token = 0
-		out.Leases[i] = entry
-	}
-	s.writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(into); err != nil {
-		s.errors.Add(1)
-		s.writeJSON(w, http.StatusBadRequest, wire.Error{Error: "bad request body: " + err.Error()})
-		return false
-	}
-	return true
-}
-
-// writeError maps lease/namer errors onto HTTP status codes:
-// exhaustion is 503 (retryable), stale tokens are 409, expiry is 410,
-// unknown names are 404, bad batch parameters are 400, and an acquisition
-// the client itself abandoned is 408 (the response is usually unread —
-// the status mostly serves the error counter and access logs).
-func (s *server) writeError(w http.ResponseWriter, err error) {
-	s.errors.Add(1)
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, renaming.ErrNamespaceExhausted), errors.Is(err, lease.ErrCapacity):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, renaming.ErrCancelled):
-		status = http.StatusRequestTimeout
-	case errors.Is(err, renaming.ErrBadConfig):
-		status = http.StatusBadRequest
-	case errors.Is(err, lease.ErrWrongToken):
-		status = http.StatusConflict
-	case errors.Is(err, lease.ErrExpired):
-		status = http.StatusGone
-	case errors.Is(err, lease.ErrUnknownName):
-		status = http.StatusNotFound
-	case errors.Is(err, lease.ErrClosed):
-		status = http.StatusServiceUnavailable
-	}
-	s.writeJSON(w, status, wire.Error{Error: err.Error()})
-}
-
-func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// latSummary is one operation's client-observed latency in a load report.
-type latSummary struct {
-	P50, P99 time.Duration
-}
-
-// loadReport aggregates a load-generator run. Duration is the configured
-// run length; Elapsed is the measured wall time, which runs past Duration
-// because workers finish their in-flight acquire→renew→release cycle
-// after the deadline. Throughput is computed over Elapsed — dividing by
-// the configured duration overstated ops/sec by the overshoot.
-type loadReport struct {
-	Clients    int
-	Batch      int // names acquired per cycle; > 1 uses /v1/acquire_batch
-	Duration   time.Duration
-	Elapsed    time.Duration
-	Acquires   int64
-	Renews     int64
-	Releases   int64
-	Failures   int64
-	OpsPerSec  float64
-	AcquireLat latSummary
-	RenewLat   latSummary
-	ReleaseLat latSummary
-}
-
-func (r loadReport) print(out io.Writer) {
-	fmt.Fprintf(out, "load: %d clients, batch %d, configured %v, ran %v\n",
-		r.Clients, r.Batch, r.Duration, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(out, "  acquires  %d\n  renews    %d\n  releases  %d\n  failures  %d\n",
-		r.Acquires, r.Renews, r.Releases, r.Failures)
-	fmt.Fprintf(out, "  latency (p50/p99) acquire %v/%v, renew %v/%v, release %v/%v\n",
-		r.AcquireLat.P50, r.AcquireLat.P99, r.RenewLat.P50, r.RenewLat.P99,
-		r.ReleaseLat.P50, r.ReleaseLat.P99)
-	fmt.Fprintf(out, "  throughput %.0f ops/sec\n", r.OpsPerSec)
-}
-
-// runLoad drives acquire -> renews -> release cycles against target from
-// `clients` goroutines for the given duration. batch > 1 acquires through
-// /v1/acquire_batch (batch leases per cycle, each renewed and released
-// individually), measuring what batching saves on the acquisition path.
-func runLoad(target string, clients, renewsPerLease, batch int, duration time.Duration) (loadReport, error) {
-	if batch < 1 {
-		batch = 1
-	}
-	// Fail fast if the server is unreachable, rather than reporting a run
-	// with nothing but failures.
-	resp, err := http.Get(target + "/healthz")
-	if err != nil {
-		return loadReport{}, fmt.Errorf("target unreachable: %w", err)
-	}
-	resp.Body.Close()
-
-	var acquires, renews, releases, failures atomic.Int64
-	acquireLat, renewLat, releaseLat := telemetry.NewHistogram(), telemetry.NewHistogram(), telemetry.NewHistogram()
-	start := time.Now()
-	deadline := start.Add(duration)
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			client := &http.Client{Timeout: 5 * time.Second}
-			owner := fmt.Sprintf("loadgen-%d", id)
-			timedPost := func(h *telemetry.Histogram, url string, body, out any) bool {
-				t0 := time.Now()
-				ok := post(client, url, body, out)
-				if ok {
-					// Failures are counted separately; recording them
-					// here would let client-timeout constants (5s)
-					// masquerade as the op's p99.
-					h.Observe(time.Since(t0))
-				}
-				return ok
-			}
-			for time.Now().Before(deadline) {
-				// If the server granted leases but the response failed
-				// mid-read, the names stay leased until their TTL lapses;
-				// we can't release what we couldn't parse, so it's counted
-				// as a failure and left to the server's sweeper.
-				var cycle []wire.Lease
-				if batch > 1 {
-					var granted wire.Leases
-					if !timedPost(acquireLat, target+"/v1/acquire_batch",
-						wire.AcquireBatchRequest{Owner: owner, Count: batch}, &granted) {
-						failures.Add(1)
-						continue
-					}
-					acquires.Add(int64(len(granted.Leases)))
-					cycle = granted.Leases
-				} else {
-					var l wire.Lease
-					if !timedPost(acquireLat, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
-						failures.Add(1)
-						continue
-					}
-					acquires.Add(1)
-					cycle = []wire.Lease{l}
-				}
-				for _, l := range cycle {
-					ok := true
-					for r := 0; r < renewsPerLease && ok; r++ {
-						if timedPost(renewLat, target+"/v1/renew", wire.RenewRequest{Name: l.Name, Token: l.Token}, &l) {
-							renews.Add(1)
-						} else {
-							failures.Add(1)
-							ok = false
-						}
-					}
-					if timedPost(releaseLat, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
-						releases.Add(1)
-					} else {
-						failures.Add(1)
-					}
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	// Workers keep finishing their in-flight cycle past the deadline;
-	// throughput over the configured duration would count those ops
-	// against a window they didn't run in.
-	elapsed := time.Since(start)
-	total := acquires.Load() + renews.Load() + releases.Load()
-	quantiles := func(h *telemetry.Histogram) latSummary {
-		return latSummary{P50: h.Quantile(0.50), P99: h.Quantile(0.99)}
-	}
-	return loadReport{
-		Clients:    clients,
-		Batch:      batch,
-		Duration:   duration,
-		Elapsed:    elapsed,
-		Acquires:   acquires.Load(),
-		Renews:     renews.Load(),
-		Releases:   releases.Load(),
-		Failures:   failures.Load(),
-		OpsPerSec:  float64(total) / elapsed.Seconds(),
-		AcquireLat: quantiles(acquireLat),
-		RenewLat:   quantiles(renewLat),
-		ReleaseLat: quantiles(releaseLat),
-	}, nil
-}
-
-// sessionReport aggregates a -sessions load run: a standing population
-// of heartbeating holders (the renewal-dominated traffic shape a name
-// service actually serves) with optional churn clients alongside.
-type sessionReport struct {
-	Holders  int // heartbeating leases, spread across Sessions
-	Sessions int
-	Churners int
-	Duration time.Duration
-	Elapsed  time.Duration
-
-	Heartbeats int64  // renew_batch round trips
-	Renews     int64  // individual lease renewals across them
-	Retries    int64  // heartbeat rounds that hit transport failures
-	Lost       int64  // leases lost mid-run (must be 0 with on-time renewals)
-	MaxToken   uint64 // highest fencing token observed across the holders
-
-	// TransportErrs and SessionP99 come straight from the sessions' own
-	// Stats — the callback-free counters a monitoring scrape would read —
-	// rather than from loadgen-side instrumentation. SessionP99 is the
-	// WORST per-session renew_batch p99, so one laggard session can't
-	// hide inside a fleet-wide aggregate.
-	TransportErrs int64
-	SessionP99    time.Duration
-
-	// MaxToken is what makes the loadgen a crash-restart harness: run it
-	// with -sessions against a -data-dir server, kill -9 the server mid-
-	// run, restart it from the same directory, and the report must show
-	// lost 0 (every restored lease kept renewing on its old token, with
-	// retries absorbing the downtime) while any lease acquired AFTER the
-	// restart carries a token strictly above this watermark — the
-	// monotonic-fencing guarantee, checkable from outside with one curl.
-
-	ChurnAcquires int64
-	ChurnReleases int64
-	ChurnFailures int64
-
-	RenewLat   latSummary // per renew_batch round trip, client-observed
-	RenewsPerS float64
-}
-
-func (r sessionReport) print(out io.Writer) {
-	fmt.Fprintf(out, "session load: %d holders over %d sessions, %d churners, configured %v, ran %v\n",
-		r.Holders, r.Sessions, r.Churners, r.Duration, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(out, "  heartbeats %d (renew_batch round trips)\n  renews     %d\n  retries    %d\n  lost       %d\n  max token  %d\n",
-		r.Heartbeats, r.Renews, r.Retries, r.Lost, r.MaxToken)
-	fmt.Fprintf(out, "  churn      %d acquires, %d releases, %d failures\n",
-		r.ChurnAcquires, r.ChurnReleases, r.ChurnFailures)
-	fmt.Fprintf(out, "  renew_batch latency p50/p99 %v/%v\n", r.RenewLat.P50, r.RenewLat.P99)
-	fmt.Fprintf(out, "  session stats %d transport errors, worst-session p99 %v\n",
-		r.TransportErrs, r.SessionP99)
-	fmt.Fprintf(out, "  renewal throughput %.0f renews/sec\n", r.RenewsPerS)
-}
-
-// runSessionLoad keeps `holders` leases alive for `duration` through
-// `clients` leaseclient sessions (each heartbeating its share in
-// coalesced renew_batch calls at a third of leaseTTL), while `churn`
-// workers cycle acquire→release alongside. Lost must come back 0: a
-// holder population whose renewals are on time never loses a lease.
-func runSessionLoad(target string, holders, clients, churn int, leaseTTL, duration time.Duration) (sessionReport, error) {
-	if clients < 1 {
-		clients = 1
-	}
-	if clients > holders {
-		clients = holders
-	}
-	resp, err := http.Get(target + "/healthz")
-	if err != nil {
-		return sessionReport{}, fmt.Errorf("target unreachable: %w", err)
-	}
-	resp.Body.Close()
-
-	var lost atomic.Int64
-	renewLat := telemetry.NewHistogram()
-	sessions := make([]*leaseclient.Session, 0, clients)
-	closeAll := func() {
-		var wg sync.WaitGroup
-		for _, s := range sessions {
-			wg.Add(1)
-			go func(s *leaseclient.Session) { defer wg.Done(); s.Close() }(s)
-		}
-		wg.Wait()
-	}
-	for c := 0; c < clients; c++ {
-		s, err := leaseclient.NewSession(leaseclient.Config{
-			Target: target,
-			Owner:  fmt.Sprintf("sessgen-%d", c),
-			TTL:    leaseTTL,
-			OnLost: func(int, error) { lost.Add(1) },
-			OnHeartbeat: func(_ int, d time.Duration, err error) {
-				if err == nil {
-					renewLat.Observe(d)
-				}
-			},
-		})
-		if err != nil {
-			closeAll()
-			return sessionReport{}, err
-		}
-		sessions = append(sessions, s)
-		// Spread the holders across sessions, remainder to the first few.
-		share := holders / clients
-		if c < holders%clients {
-			share++
-		}
-		if share == 0 {
-			continue
-		}
-		if _, err := s.AcquireN(context.Background(), share); err != nil {
-			closeAll()
-			return sessionReport{}, fmt.Errorf("session %d acquiring %d holders: %w", c, share, err)
-		}
-	}
-
-	// The measured window opens only after every session is populated:
-	// setup (N acquire_batch round trips) must not dilute the renewal
-	// throughput, and the window closes BEFORE teardown for the same
-	// reason — the classic loadgen had exactly this measured-vs-configured
-	// window bug on its elapsed time. Counters are baselined here so
-	// heartbeats that fired while later sessions were still acquiring
-	// don't count against the window either.
-	var baseHeartbeats, baseRenews, baseRetries int64
-	for _, s := range sessions {
-		st := s.Stats()
-		baseHeartbeats += st.Heartbeats
-		baseRenews += st.Renewed
-		baseRetries += st.Retries
-	}
-	start := time.Now()
-
-	// Churn traffic rides alongside: acquire → release, one lease at a
-	// time, sharing the server with the heartbeat storm.
-	var churnAcquires, churnReleases, churnFailures atomic.Int64
-	deadline := start.Add(duration)
-	var wg sync.WaitGroup
-	for c := 0; c < churn; c++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			client := &http.Client{Timeout: 5 * time.Second}
-			owner := fmt.Sprintf("churn-%d", id)
-			for time.Now().Before(deadline) {
-				var l wire.Lease
-				if !post(client, target+"/v1/acquire", wire.AcquireRequest{Owner: owner}, &l) {
-					churnFailures.Add(1)
-					continue
-				}
-				churnAcquires.Add(1)
-				if post(client, target+"/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil) {
-					churnReleases.Add(1)
-				} else {
-					churnFailures.Add(1)
-				}
-			}
-		}(c)
-	}
-	time.Sleep(time.Until(deadline))
-	wg.Wait()
-
-	// Snapshot the counters and close the window at the same instant,
-	// before teardown: closeAll's release_batch round trips are not
-	// renewal throughput. Lost is tallied through OnLost; the
-	// per-session Stats cover the rest.
-	var heartbeats, renews, retries, transportErrs int64
-	var maxToken uint64
-	var sessP99 time.Duration
-	for _, s := range sessions {
-		st := s.Stats()
-		heartbeats += st.Heartbeats
-		renews += st.Renewed
-		retries += st.Retries
-		transportErrs += st.TransportErrors
-		if st.HeartbeatLatency.P99 > sessP99 {
-			sessP99 = st.HeartbeatLatency.P99
-		}
-		for _, l := range s.Leases() {
-			if l.Token > maxToken {
-				maxToken = l.Token
-			}
-		}
-	}
-	heartbeats -= baseHeartbeats
-	renews -= baseRenews
-	retries -= baseRetries
-	elapsed := time.Since(start)
-	closeAll()
-	return sessionReport{
-		Holders:       holders,
-		Sessions:      len(sessions),
-		Churners:      churn,
-		Duration:      duration,
-		Elapsed:       elapsed,
-		Heartbeats:    heartbeats,
-		Renews:        renews,
-		Retries:       retries,
-		Lost:          lost.Load(),
-		MaxToken:      maxToken,
-		TransportErrs: transportErrs,
-		SessionP99:    sessP99,
-		ChurnAcquires: churnAcquires.Load(),
-		ChurnReleases: churnReleases.Load(),
-		ChurnFailures: churnFailures.Load(),
-		RenewLat:      latSummary{P50: renewLat.Quantile(0.50), P99: renewLat.Quantile(0.99)},
-		RenewsPerS:    float64(renews) / elapsed.Seconds(),
-	}, nil
-}
-
-// post sends one JSON request and decodes the response into out (if
-// non-nil), reporting success.
-func post(client *http.Client, url string, body, out any) bool {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return false
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		io.Copy(io.Discard, resp.Body)
-		return false
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out) == nil
-	}
-	io.Copy(io.Discard, resp.Body)
-	return true
 }

@@ -4,37 +4,30 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/lease"
 	"repro/lease/persist"
 )
 
-// opNames are the /v1 operations instrumented per-op: request counters
-// and latency histograms are labeled with exactly these values.
-var opNames = []string{
-	"acquire", "acquire_batch", "renew", "renew_batch", "release", "release_batch",
-}
-
-// verdictCodes are the per-item outcomes a batch endpoint can report;
-// "ok" is the success code (the wire sends success as an absent code).
-var verdictCodes = []string{
-	"ok",
-	"unknown_name", "wrong_token", "expired", "closed", "cancelled", "internal",
-}
-
 // serverMetrics is the server's Prometheus surface: one registry, all
 // series registered up front so the exposition is stable from the first
-// scrape, and every hot-path handle (per-op counters, per-code verdict
-// counters, latency histograms) pre-resolved — the request path does
-// map lookups on its own locals, never on the registry.
+// scrape, and every hot-path handle (per-op counters, latency
+// histograms) pre-resolved — the request path does lookups on its own
+// locals, never on the registry. The per-transport request series and
+// the batch-item verdict counters live in svc (service.NewTelemetry),
+// registered on the same registry so /metrics stays one exposition.
 type serverMetrics struct {
 	reg *telemetry.Registry
 
+	// svc owns the transport-labeled series (renamed_requests_total,
+	// renamed_request_duration_seconds) and the shared
+	// renamed_batch_item_verdicts_total counters; the service core
+	// increments them for every transport, including this HTTP surface.
+	svc *service.Telemetry
+
 	requests *telemetry.CounterVec
 	latency  *telemetry.HistogramVec
-	// verdicts[op][code] pre-resolves every batch-item verdict counter;
-	// indexing a plain map is lock-free, CounterVec.With is not.
-	verdicts map[string]map[string]*telemetry.Counter
 }
 
 // cachedStats memoizes an expensive stats snapshot for ttl, so a scrape
@@ -67,19 +60,11 @@ func newServerMetrics(s *server) *serverMetrics {
 	reg := telemetry.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
+		svc: service.NewTelemetry(reg),
 		requests: reg.CounterVec("renamed_http_requests_total",
 			"HTTP requests served, by /v1 operation.", "op"),
 		latency: reg.HistogramVec("renamed_http_request_duration_seconds",
 			"Wall-clock handler latency, by /v1 operation.", "op"),
-		verdicts: map[string]map[string]*telemetry.Counter{},
-	}
-	vec := reg.CounterVec("renamed_batch_item_verdicts_total",
-		"Per-item outcomes inside renew_batch/release_batch responses.", "op", "code")
-	for _, op := range []string{"renew_batch", "release_batch"} {
-		m.verdicts[op] = map[string]*telemetry.Counter{}
-		for _, code := range verdictCodes {
-			m.verdicts[op][code] = vec.With(op, code)
-		}
 	}
 
 	reg.CounterFunc("renamed_http_errors_total",

@@ -1,0 +1,210 @@
+// Package service is the transport-neutral core of cmd/renamed: every
+// operation the daemon offers — Acquire, AcquireBatch, Renew,
+// RenewBatch, Release, ReleaseBatch, Stats — lives here once, and the
+// HTTP/JSON surface and the binary protocol (internal/wire/binproto,
+// served by BinServer) are thin adapters over the same Core. Per-item
+// verdicts, verdict counters and per-transport telemetry are computed
+// in the core, so the two surfaces cannot drift: a renew_batch item
+// that reads "wrong_token" over HTTP reads wrong_token over the binary
+// port, and both increment the same renamed_batch_item_verdicts_total
+// series.
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+	"repro/lease"
+)
+
+// Core owns the lease manager and the shared telemetry. One Core serves
+// any number of transport bindings.
+type Core struct {
+	mgr *lease.Manager
+	tel *Telemetry
+}
+
+// New wraps mgr. tel may be nil (tests, embedded use): operations run
+// uninstrumented but otherwise identically.
+func New(mgr *lease.Manager, tel *Telemetry) *Core {
+	return &Core{mgr: mgr, tel: tel}
+}
+
+// Manager exposes the underlying lease manager for lifecycle calls
+// (Restore, Shutdown, Metrics) that are process concerns, not requests.
+func (c *Core) Manager() *lease.Manager { return c.mgr }
+
+// Stats snapshots the lease-table counters (an O(live) stripe walk —
+// cache it on scrape paths).
+func (c *Core) Stats() lease.Metrics { return c.mgr.Metrics() }
+
+// Leases lists the live table for read-only inspection. Fencing tokens
+// are capabilities — only the holder may renew or release — so they are
+// zeroed before the table leaves the core, on every transport.
+func (c *Core) Leases() []wire.Lease {
+	ls := c.mgr.Leases()
+	out := make([]wire.Lease, len(ls))
+	for i, l := range ls {
+		entry := wire.FromLease(l)
+		entry.Token = 0
+		out[i] = entry
+	}
+	return out
+}
+
+// Verdict is one item's outcome in a batch operation: Code "" means
+// success and Lease carries the extended deadline; otherwise Code is a
+// wire code (wire.CodeUnknownName, ...) and Msg the server-rendered
+// error text.
+type Verdict struct {
+	Code  string
+	Msg   string
+	Lease wire.Lease
+}
+
+// Binding is a Core bound to one transport label ("http", "bin"): the
+// same operations with the per-transport request counters and latency
+// histograms pre-resolved, so the hot path never touches a CounterVec
+// lock. Create one per transport at startup and reuse it.
+type Binding struct {
+	core *Core
+	mgr  *lease.Manager
+	ops  [opCount]opHandle
+	// verdict counters are shared across transports (the op label is the
+	// batch endpoint, not the wire) — kept here pre-resolved.
+	renewVerdicts   *verdictSet
+	releaseVerdicts *verdictSet
+}
+
+// Bind returns the Core's operations instrumented under the given
+// transport label.
+func (c *Core) Bind(transport string) *Binding {
+	b := &Binding{core: c, mgr: c.mgr}
+	if c.tel != nil {
+		for op := 0; op < opCount; op++ {
+			b.ops[op] = c.tel.handle(transport, opName[op])
+		}
+		b.renewVerdicts = c.tel.verdicts["renew_batch"]
+		b.releaseVerdicts = c.tel.verdicts["release_batch"]
+	}
+	return b
+}
+
+// observe records one operation against the binding's transport; the
+// zero opHandle (nil telemetry) is a no-op.
+func (b *Binding) observe(op int, start time.Time) {
+	h := b.ops[op]
+	if h.reqs == nil {
+		return
+	}
+	h.reqs.Inc()
+	h.lat.Observe(time.Since(start))
+}
+
+// Acquire grants one lease. The context ties the probe sequence to the
+// caller: a client that disconnects mid-acquire cancels instead of
+// leaving behind a lease nobody will renew.
+func (b *Binding) Acquire(ctx context.Context, req *wire.AcquireRequest) (wire.Lease, error) {
+	start := time.Now()
+	defer b.observe(opAcquire, start)
+	l, err := b.mgr.AcquireCtx(ctx, req.Owner, wire.TTLFromMs(req.TTLms), req.Meta)
+	if err != nil {
+		return wire.Lease{}, err
+	}
+	return wire.FromLease(l), nil
+}
+
+// AcquireBatch grants count leases all-or-nothing.
+func (b *Binding) AcquireBatch(ctx context.Context, req *wire.AcquireBatchRequest) ([]wire.Lease, error) {
+	start := time.Now()
+	defer b.observe(opAcquireBatch, start)
+	ls, err := b.mgr.AcquireBatch(ctx, req.Owner, req.Count, wire.TTLFromMs(req.TTLms), req.Meta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.Lease, len(ls))
+	for i, l := range ls {
+		out[i] = wire.FromLease(l)
+	}
+	return out, nil
+}
+
+// Renew extends one lease.
+func (b *Binding) Renew(req *wire.RenewRequest) (wire.Lease, error) {
+	start := time.Now()
+	defer b.observe(opRenew, start)
+	l, err := b.mgr.Renew(req.Name, req.Token, wire.TTLFromMs(req.TTLms))
+	if err != nil {
+		return wire.Lease{}, err
+	}
+	return wire.FromLease(l), nil
+}
+
+// RenewBatch is the heartbeat hot path: one call renews every lease a
+// session holds, one lock visit per involved stripe. Outcomes are
+// per-item and index-aligned — the call succeeds even when individual
+// items fail, because a session must learn exactly which leases it
+// lost; only a request that could not be processed at all (closed
+// manager, context done) returns an error. items and out are caller-
+// owned and reused across calls: appended into, never retained.
+func (b *Binding) RenewBatch(ctx context.Context, ttl time.Duration, items []lease.RenewItem, out []Verdict) ([]Verdict, error) {
+	start := time.Now()
+	defer b.observe(opRenewBatch, start)
+	results, err := b.mgr.RenewBatch(ctx, items, ttl)
+	if err != nil {
+		return out[:0], err
+	}
+	out = out[:0]
+	for i := range results {
+		if rerr := results[i].Err; rerr != nil {
+			code := wire.CodeFor(rerr)
+			b.renewVerdicts.inc(code)
+			out = append(out, Verdict{Code: code, Msg: rerr.Error()})
+			continue
+		}
+		b.renewVerdicts.inc("ok")
+		out = append(out, Verdict{Lease: wire.FromLease(results[i].Lease)})
+	}
+	return out, nil
+}
+
+// Release ends one lease.
+func (b *Binding) Release(req *wire.ReleaseRequest) error {
+	start := time.Now()
+	defer b.observe(opRelease, start)
+	return b.mgr.Release(req.Name, req.Token)
+}
+
+// ReleaseBatch ends many leases with per-item outcomes, mirroring
+// RenewBatch — a session holding hundreds of names must not shut down
+// over hundreds of round trips.
+func (b *Binding) ReleaseBatch(ctx context.Context, items []lease.ReleaseItem, out []Verdict) ([]Verdict, error) {
+	start := time.Now()
+	defer b.observe(opReleaseBatch, start)
+	results, err := b.mgr.ReleaseBatch(ctx, items)
+	if err != nil {
+		return out[:0], err
+	}
+	out = out[:0]
+	for i := range results {
+		if rerr := results[i].Err; rerr != nil {
+			code := wire.CodeFor(rerr)
+			b.releaseVerdicts.inc(code)
+			out = append(out, Verdict{Code: code, Msg: rerr.Error()})
+			continue
+		}
+		b.releaseVerdicts.inc("ok")
+		out = append(out, Verdict{})
+	}
+	return out, nil
+}
+
+// StatsCounted is Stats with the binding's request accounting — the
+// transport-facing stats op (the binary TStats frame), as opposed to
+// internal scrapes.
+func (b *Binding) StatsCounted() lease.Metrics {
+	start := time.Now()
+	defer b.observe(opStats, start)
+	return b.mgr.Metrics()
+}

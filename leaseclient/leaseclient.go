@@ -26,14 +26,12 @@
 package leaseclient
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand/v2"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,10 +64,17 @@ type Lease struct {
 	ExpiresAt time.Time
 }
 
-// Config tunes a Session. Target is required; everything else defaults.
+// Config tunes a Session. Target is required (unless Transport is
+// injected); everything else defaults.
 type Config struct {
-	// Target is the renamed server's base URL, e.g. "http://host:8077".
+	// Target selects the server and the wire: "http://host:8077" for the
+	// JSON surface, "bin://host:9077" for the binary protocol on a
+	// persistent connection. The Session itself is transport-neutral.
 	Target string
+	// Transport overrides Target with a caller-built transport (tests,
+	// custom wiring). The caller keeps ownership: Close does not close an
+	// injected transport.
+	Transport Transport
 	// Owner identifies this session to the server (shows up in
 	// /v1/leases listings).
 	Owner string
@@ -90,7 +95,8 @@ type Config struct {
 	// request. Default 4096 — at the wire's ~25 bytes per item this
 	// stays well inside the server's 1 MiB body limit.
 	MaxBatch int
-	// HTTPClient overrides the transport. Default: 5-second timeout.
+	// HTTPClient overrides the HTTP transport's client (http:// targets
+	// only). Default: 5-second timeout.
 	HTTPClient *http.Client
 	// OnLost is invoked (from the heartbeat goroutine, without internal
 	// locks held) for every lease the server refuses to renew: the
@@ -105,7 +111,7 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() error {
-	if c.Target == "" {
+	if c.Target == "" && c.Transport == nil {
 		return errors.New("leaseclient: Config.Target required")
 	}
 	if c.HeartbeatFraction <= 0 || c.HeartbeatFraction >= 1 {
@@ -153,6 +159,13 @@ type Stats struct {
 // background. All methods are safe for concurrent use.
 type Session struct {
 	cfg Config
+	// tr moves the bytes; every protocol decision above it (heartbeat
+	// cadence, backoff, loss classification, re-adoption) is written once
+	// here and works over HTTP and the binary wire identically.
+	tr Transport
+	// ownTransport marks a transport this session built from cfg.Target
+	// (and must close); injected transports belong to the caller.
+	ownTransport bool
 
 	mu     sync.Mutex
 	leases map[int]Lease
@@ -189,6 +202,18 @@ func NewSession(cfg Config) (*Session, error) {
 		done:   make(chan struct{}),
 		hbLat:  telemetry.NewHistogram(),
 	}
+	switch {
+	case cfg.Transport != nil:
+		s.tr = cfg.Transport
+	case strings.HasPrefix(cfg.Target, binScheme):
+		s.tr = newBinTransport(strings.TrimPrefix(cfg.Target, binScheme))
+		s.ownTransport = true
+	default:
+		// http:// and https:// — and bare host:port for compatibility
+		// with URL-shaped targets that worked before transports existed.
+		s.tr = newHTTPTransport(cfg.Target, cfg.HTTPClient)
+		s.ownTransport = true
+	}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
@@ -219,15 +244,15 @@ func (s *Session) AcquireN(ctx context.Context, k int) ([]Lease, error) {
 	var granted wire.Leases
 	if k == 1 {
 		// The single-acquire endpoint responds with a bare lease.
-		var l wire.Lease
-		if err := s.post(ctx, "/v1/acquire",
-			wire.AcquireRequest{Owner: s.cfg.Owner, TTLms: s.cfg.TTL.Milliseconds()}, &l); err != nil {
+		l, err := s.tr.Acquire(ctx, &wire.AcquireRequest{Owner: s.cfg.Owner, TTLms: s.cfg.TTL.Milliseconds()})
+		if err != nil {
 			return nil, err
 		}
 		granted.Leases = []wire.Lease{l}
 	} else {
-		if err := s.post(ctx, "/v1/acquire_batch",
-			wire.AcquireBatchRequest{Owner: s.cfg.Owner, Count: k, TTLms: s.cfg.TTL.Milliseconds()}, &granted); err != nil {
+		var err error
+		granted, err = s.tr.AcquireBatch(ctx, &wire.AcquireBatchRequest{Owner: s.cfg.Owner, Count: k, TTLms: s.cfg.TTL.Milliseconds()})
+		if err != nil {
 			return nil, err
 		}
 		if len(granted.Leases) != k {
@@ -278,8 +303,8 @@ func (s *Session) Release(ctx context.Context, name int) error {
 	if !ok {
 		return fmt.Errorf("leaseclient: name %d not held by this session", name)
 	}
-	err := s.post(ctx, "/v1/release", wire.ReleaseRequest{Name: l.Name, Token: l.Token}, nil)
-	var se *statusError
+	err := s.tr.Release(ctx, &wire.ReleaseRequest{Name: l.Name, Token: l.Token})
+	var se *ServerError
 	if err != nil && !errors.As(err, &se) {
 		// Transport-level failure: the server may never have seen the
 		// release. Re-adopt the lease (unless the name was re-acquired
@@ -338,7 +363,13 @@ func (s *Session) Close() error {
 
 	close(s.done)
 	s.wg.Wait()
-	return s.releaseItems(context.Background(), items)
+	err := s.releaseItems(context.Background(), items)
+	if s.ownTransport {
+		if cerr := s.tr.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // releaseItems hands names back via /v1/release_batch in MaxBatch
@@ -351,8 +382,7 @@ func (s *Session) releaseItems(ctx context.Context, items []wire.Item) error {
 			chunk = chunk[:s.cfg.MaxBatch]
 		}
 		items = items[len(chunk):]
-		var results wire.BatchResults
-		err := s.post(ctx, "/v1/release_batch", wire.ReleaseBatchRequest{Items: chunk}, &results)
+		results, err := s.tr.ReleaseBatch(ctx, &wire.ReleaseBatchRequest{Items: chunk})
 		if err != nil {
 			if first == nil {
 				first = err
@@ -461,9 +491,8 @@ func (s *Session) heartbeat() {
 
 		s.heartbeats.Add(1)
 		start := time.Now()
-		var results wire.BatchResults
-		err := s.post(context.Background(), "/v1/renew_batch",
-			wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk}, &results)
+		results, err := s.tr.RenewBatch(context.Background(),
+			&wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk})
 		s.hbLat.Observe(time.Since(start))
 		if err != nil {
 			s.transportErrs.Add(1)
@@ -550,20 +579,6 @@ func (s *Session) wake() {
 	}
 }
 
-// statusError is a non-2xx response: the server received the request
-// and answered. Distinguishable (errors.As) from transport failures,
-// where the request may never have arrived at all.
-type statusError struct {
-	path      string
-	status    int
-	msg       string
-	requestID string
-}
-
-func (e *statusError) Error() string {
-	return fmt.Sprintf("leaseclient: %s [rid=%s]: HTTP %d: %s", e.path, e.requestID, e.status, e.msg)
-}
-
 // isGone reports whether err means the lease no longer exists server-
 // side — the benign outcome for a shutdown-time release, where losing
 // the race to the sweeper (or to an earlier lost-lease drop) is normal.
@@ -571,46 +586,4 @@ func isGone(err error) bool {
 	return errors.Is(err, lease.ErrUnknownName) ||
 		errors.Is(err, lease.ErrExpired) ||
 		errors.Is(err, lease.ErrWrongToken)
-}
-
-// post sends one JSON request and decodes a 2xx response into out (when
-// non-nil). Non-2xx responses decode the wire error body and come back
-// as "<status>: <message>" errors; the typed per-item errors flow
-// through wire.ErrFor instead. Every request carries a fresh
-// wire.HeaderRequestID, and transport and status errors embed it so a
-// failure in a client log joins against the server's record of the
-// same request.
-func (s *Session) post(ctx context.Context, path string, body, out any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("leaseclient: encode %s: %w", path, err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.Target+path, bytes.NewReader(buf))
-	if err != nil {
-		return fmt.Errorf("leaseclient: %s: %w", path, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	reqID := wire.NewRequestID()
-	req.Header.Set(wire.HeaderRequestID, reqID)
-	resp, err := s.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("leaseclient: %s [rid=%s]: %w", path, reqID, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var we wire.Error
-		msg := ""
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&we) == nil {
-			msg = we.Error
-		}
-		io.Copy(io.Discard, resp.Body)
-		return &statusError{path: path, status: resp.StatusCode, msg: msg, requestID: reqID}
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("leaseclient: decode %s: %w", path, err)
-		}
-	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
 }

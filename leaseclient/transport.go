@@ -1,0 +1,84 @@
+package leaseclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Transport carries the lease protocol's operations to one server. The
+// Session layer — heartbeats, backoff, OnLost, re-adoption — is written
+// once against this interface; the HTTP/JSON and binary (binproto)
+// implementations only move bytes.
+//
+// Error contract: an error that errors.As-matches *ServerError means
+// the server RECEIVED the request and refused it; any other error is a
+// transport failure where the request may never have arrived — the
+// distinction drives the Session's release re-adoption and heartbeat
+// backoff. Implementations must be safe for concurrent use.
+type Transport interface {
+	Acquire(ctx context.Context, req *wire.AcquireRequest) (wire.Lease, error)
+	AcquireBatch(ctx context.Context, req *wire.AcquireBatchRequest) (wire.Leases, error)
+	Renew(ctx context.Context, req *wire.RenewRequest) (wire.Lease, error)
+	RenewBatch(ctx context.Context, req *wire.RenewBatchRequest) (wire.BatchResults, error)
+	Release(ctx context.Context, req *wire.ReleaseRequest) error
+	ReleaseBatch(ctx context.Context, req *wire.ReleaseBatchRequest) (wire.BatchResults, error)
+	// Ping checks reachability: GET /healthz over HTTP, a stats round
+	// trip over the binary protocol.
+	Ping(ctx context.Context) error
+	// Close releases the transport's connections. The Session closes the
+	// transport it constructed; injected transports are the caller's.
+	Close() error
+}
+
+// NewTransport selects a transport by target scheme: "bin://host:port"
+// speaks the binary protocol on a persistent connection, "http://" /
+// "https://" the JSON surface. This is the one place the scheme is
+// interpreted — everything above it is transport-neutral.
+func NewTransport(target string) (Transport, error) {
+	switch {
+	case strings.HasPrefix(target, binScheme):
+		return newBinTransport(strings.TrimPrefix(target, binScheme)), nil
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+		return newHTTPTransport(target, &http.Client{Timeout: 5 * time.Second}), nil
+	default:
+		return nil, fmt.Errorf("leaseclient: target %q: unsupported scheme (want http://, https:// or bin://)", target)
+	}
+}
+
+// binScheme prefixes binary-protocol targets.
+const binScheme = "bin://"
+
+// ServerError is a request the server received and refused as a whole:
+// a non-2xx HTTP response or a binary TError frame. Per-item batch
+// verdicts are NOT ServerErrors — they arrive inside successful
+// responses. Unwrap yields the typed sentinel (lease.ErrWrongToken,
+// lease.ErrCapacity, ...) when the refusal carried a recognizable code,
+// so errors.Is works identically over either transport.
+type ServerError struct {
+	// Op is the operation, in route-name form ("renew_batch").
+	Op string
+	// Status is the HTTP status code; 0 on the binary transport.
+	Status int
+	// Msg is the server-rendered error text.
+	Msg string
+	// RequestID joins this failure against the server's slow-op log and
+	// response headers (16 hex digits on both transports).
+	RequestID string
+	// Err is the typed sentinel recovered from the response's error
+	// code; may be nil when the server's error defied classification.
+	Err error
+}
+
+func (e *ServerError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("leaseclient: %s [rid=%s]: HTTP %d: %s", e.Op, e.RequestID, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("leaseclient: %s [rid=%s]: server: %s", e.Op, e.RequestID, e.Msg)
+}
+
+func (e *ServerError) Unwrap() error { return e.Err }
