@@ -1,0 +1,61 @@
+// Package chaos is the fault-injection harness for the full renamed
+// service stack: a TCP proxy that corrupts the wire (drops, delays,
+// reorders, resets, bandwidth throttling, partitions), a transport
+// wrapper that duplicates whole protocol calls, a crash scheduler that
+// SIGKILLs and restarts a real renamed process against its data
+// directory, a clock-skew injector for sessions, and an invariant
+// checker that watches real leaseclient.Sessions drive the faulted
+// stack and proves the safety story holds: no two clients believe they
+// hold one name at the same instant, fencing tokens only move forward,
+// a lease reported lost stays lost, and nothing is dropped without a
+// fault to blame.
+//
+// Everything is seeded. Each component derives its own random stream
+// from (seed, label), so the fault SCHEDULE — which chunk is dropped,
+// when the process dies, how long each heartbeat jitters — is a pure
+// function of the scenario seed and is printed with every report. Two
+// runs with one seed make the same decisions in the same order; the
+// operating system's scheduling still interleaves them differently,
+// which is exactly the point: one deterministic adversary, many real
+// executions.
+//
+// The composed, named scenarios (lossy, partition, crash-storm, skew,
+// dup-reorder, kitchen-sink) live in scenario.go and are driven by
+// cmd/chaos.
+package chaos
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"time"
+)
+
+// subSeed derives a stable per-component seed from the scenario seed, so
+// every RNG consumer owns an independent stream and adding a consumer
+// never shifts another's schedule.
+func subSeed(seed uint64, label string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return seed ^ h.Sum64()
+}
+
+// rng builds the component's deterministic random stream.
+func rng(seed uint64, label string) *rand.Rand {
+	return rand.New(rand.NewPCG(subSeed(seed, label), 0x9e3779b97f4a7c15))
+}
+
+// SkewedClock returns a clock offset from real time by skew — the
+// chaos spelling of a client whose wall clock is wrong. Wired into
+// leaseclient.Config.Now it shifts the session's view of every TTL and
+// heartbeat deadline while the server (and the checker) keep real time.
+func SkewedClock(skew time.Duration) func() time.Time {
+	return func() time.Time { return time.Now().Add(skew) }
+}
+
+// durBetween draws a duration uniformly from [lo, hi].
+func durBetween(r *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.Int64N(int64(hi-lo)))
+}

@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// collectDecisions drives a plan through n chunks with a fixed wall
+// offset, rendering each decision compactly.
+func collectDecisions(pl *pipePlan, n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		d := pl.next(time.Duration(i)*10*time.Millisecond, 0, true)
+		fmt.Fprintf(&b, "%v|%v|%v|%v|%v;", d.blackhole, d.drop, d.reset, d.reorder, d.delay)
+	}
+	return b.String()
+}
+
+// TestPlanDeterministic: the fault schedule is a pure function of
+// (seed, conn, dir) — the reproducibility every chaos report's printed
+// seed promises.
+func TestPlanDeterministic(t *testing.T) {
+	f := Faults{Drop: 0.1, Delay: 0.3, DelayMax: 20 * time.Millisecond, Reorder: 0.1, Reset: 0.05, Groups: 1}
+	p1 := &Proxy{seed: 42, faults: f}
+	p2 := &Proxy{seed: 42, faults: f}
+	if a, b := collectDecisions(p1.pipePlan(3, 0), 256), collectDecisions(p2.pipePlan(3, 0), 256); a != b {
+		t.Fatal("same (seed, conn, dir) produced different fault schedules")
+	}
+	if a, b := collectDecisions(p1.pipePlan(3, 0), 256), collectDecisions(p1.pipePlan(4, 0), 256); a == b {
+		t.Fatal("different connections produced identical schedules")
+	}
+	if a, b := collectDecisions(p1.pipePlan(3, 0), 256), collectDecisions(p1.pipePlan(3, 1), 256); a == b {
+		t.Fatal("different directions produced identical schedules")
+	}
+	p3 := &Proxy{seed: 43, faults: f}
+	if a, b := collectDecisions(p1.pipePlan(3, 0), 256), collectDecisions(p3.pipePlan(3, 0), 256); a == b {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestPlanDrawOrderStable: toggling one fault's probability must not
+// reshuffle the other faults' schedule — the draws happen
+// unconditionally in fixed order.
+func TestPlanDrawOrderStable(t *testing.T) {
+	base := Faults{Drop: 0, Delay: 0.3, DelayMax: 20 * time.Millisecond, Groups: 1}
+	withDrop := base
+	withDrop.Drop = 0.0001 // nearly never fires, but the draw happens either way
+	pa := &Proxy{seed: 7, faults: base}
+	pb := &Proxy{seed: 7, faults: withDrop}
+	a := collectDecisions(pa.pipePlan(0, 0), 512)
+	b := collectDecisions(pb.pipePlan(0, 0), 512)
+	if a != b {
+		t.Fatal("enabling an (almost-never-firing) fault reshuffled the other faults' schedule")
+	}
+}
+
+// echoServer accepts and echoes bytes back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						if _, werr := conn.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	upstream := echoServer(t)
+	p, err := NewProxy(upstream, 1, Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("through the quiet proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	if st := p.Stats(); st.Conns != 1 || st.Chunks < 2 {
+		t.Fatalf("stats %+v, want 1 conn and >= 2 chunks", st)
+	}
+}
+
+// TestProxyPartitionBlackholes: during the window bytes vanish silently
+// — the connection stays up, the response never comes. After the window
+// a fresh exchange works on the same connection.
+func TestProxyPartitionBlackholes(t *testing.T) {
+	upstream := echoServer(t)
+	p, err := NewProxy(upstream, 1, Faults{
+		Partitions: []Window{{At: 0, For: 600 * time.Millisecond, Group: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("eaten")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+	if _, err := conn.Read(buf); !os.IsTimeout(err) {
+		t.Fatalf("read during partition: err = %v, want timeout (black hole, not reset)", err)
+	}
+
+	time.Sleep(500 * time.Millisecond) // window over
+	if _, err := conn.Write([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("read after partition healed: %v", err)
+	}
+	if string(buf[:n]) != "alive" {
+		t.Fatalf("post-heal echo %q, want %q", buf[:n], "alive")
+	}
+	if st := p.Stats(); st.Blackholed == 0 {
+		t.Fatal("no chunks counted as blackholed")
+	}
+}
+
+// TestProxySeverConns: severing releases a client blocked on a response
+// that will never come — the teardown path for wedged unbounded calls.
+func TestProxySeverConns(t *testing.T) {
+	upstream := echoServer(t)
+	p, err := NewProxy(upstream, 1, Faults{Drop: 1}) // every chunk dropped
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("dropped"))
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 8))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("read returned early (%v); drop-all should hang it", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	p.SeverConns()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SeverConns did not release the blocked read")
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,172 @@
+// audit.go is the read-only inspection half of the durability layer:
+// ReadAudit rebuilds the durable state of a data directory — snapshot,
+// rotated journal, active journal — WITHOUT opening it for writing,
+// truncating torn tails, or compacting, so a verifier (the chaos
+// harness's invariant checker, an operator's post-incident shell) can
+// examine exactly what a recovery would see while the files stay
+// byte-identical.
+//
+// Beyond the recovered table, the audit replays the journal's record
+// stream through the same per-name fencing rules recovery uses and
+// reports every violation it finds instead of silently tolerating it:
+// an acquire whose token moves a name's token BACKWARD in time (equal
+// tokens are the idempotent replay compaction legitimately produces).
+// A healthy server can never produce one — the token counter is global
+// and strictly increasing, and Restore resumes it above the recovered
+// watermark — so a non-empty Regressions list is evidence of a fencing
+// bug, not noise.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/lease"
+)
+
+// TokenRegression is one fencing-order violation found in the journal
+// stream: a record that would move a name's token backwards (or sideways)
+// in time.
+type TokenRegression struct {
+	// Name is the lease name whose token order broke.
+	Name int
+	// PrevToken is the highest token the stream had previously
+	// established for the name; Token is the offending acquire's token,
+	// which moved backward past it.
+	PrevToken, Token uint64
+	// Source is the file the offending record came from
+	// ("journal.wal.prev", "journal.wal").
+	Source string
+}
+
+func (r TokenRegression) String() string {
+	return fmt.Sprintf("name %d: acquire token %d after token %d (%s)", r.Name, r.Token, r.PrevToken, r.Source)
+}
+
+// Audit is the result of a read-only scan of a persist directory.
+type Audit struct {
+	// Leases is the live table a recovery from this directory would
+	// restore (snapshot + journals folded, expiry not evaluated), sorted
+	// by name.
+	Leases []lease.Lease
+	// MaxToken is the fencing-token watermark: the highest token in the
+	// snapshot header or any journal record. A restarted manager mints
+	// strictly above it.
+	MaxToken uint64
+	// SnapshotLeases is how many leases the snapshot alone carried.
+	SnapshotLeases int
+	// PrevRecords and JournalRecords count valid records in the rotated
+	// and active journals.
+	PrevRecords, JournalRecords int
+	// TornBytes is the length of the active journal's invalid tail — the
+	// bytes a recovery would truncate. After a graceful shutdown it must
+	// be 0 (the final snapshot empties the journal entirely).
+	TornBytes int64
+	// Regressions lists every fencing-order violation in the journal
+	// stream. Empty on any healthy history.
+	Regressions []TokenRegression
+}
+
+// ReadAudit scans dir without modifying anything. A missing directory or
+// a directory with no durable state yields an empty audit, mirroring
+// what Open would recover from it.
+func ReadAudit(dir string) (*Audit, error) {
+	mirror, maxToken, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &Audit{MaxToken: maxToken, SnapshotLeases: len(mirror)}
+
+	// Snapshot leases seed the per-name fencing watermarks: a journal
+	// acquire for a name the snapshot already holds must outrank the
+	// snapshot's token (the stale-record guard recovery applies — here a
+	// violation is REPORTED, because a durable journal is fsynced before
+	// the snapshot covering it is renamed, so its surviving records are
+	// never older than the snapshot).
+	perName := make(map[int]uint64, len(mirror))
+	for name, l := range mirror {
+		perName[name] = l.Token
+	}
+
+	fold := func(source string, r record) {
+		if r.token > a.MaxToken {
+			a.MaxToken = r.token
+		}
+		if r.op == opAcquire {
+			// Strictly-less is a regression; EQUAL is the idempotent replay
+			// a rotated journal legitimately produces over the snapshot that
+			// covers it (the journal is durable before the snapshot lands).
+			if prev, ok := perName[r.name]; ok && r.token < prev {
+				a.Regressions = append(a.Regressions, TokenRegression{
+					Name: r.name, PrevToken: prev, Token: r.token, Source: source,
+				})
+			} else {
+				perName[r.name] = r.token
+			}
+		}
+		// The mirror fold mirrors applyLocked exactly so the audit's view
+		// of the live table matches what Restore would be handed.
+		switch r.op {
+		case opAcquire:
+			if l, ok := mirror[r.name]; ok && l.Token > r.token {
+				return
+			}
+			mirror[r.name] = leaseFromRecord(r)
+		case opRenew:
+			if l, ok := mirror[r.name]; ok && l.Token == r.token {
+				l.ExpiresAt = leaseFromRecord(r).ExpiresAt
+				mirror[r.name] = l
+			}
+		case opRelease, opExpire:
+			if l, ok := mirror[r.name]; ok && l.Token == r.token {
+				delete(mirror, r.name)
+			}
+		}
+	}
+
+	// Rotated journal first (strictly older records), then the active
+	// one — the same order Open replays them in.
+	a.PrevRecords, _, err = auditJournal(filepath.Join(dir, journalPrevName), fold)
+	if err != nil {
+		return nil, err
+	}
+	var torn int64
+	a.JournalRecords, torn, err = auditJournal(filepath.Join(dir, journalName), fold)
+	if err != nil {
+		return nil, err
+	}
+	a.TornBytes = torn
+
+	a.Leases = make([]lease.Lease, 0, len(mirror))
+	for _, l := range mirror {
+		a.Leases = append(a.Leases, l)
+	}
+	sort.Slice(a.Leases, func(i, j int) bool { return a.Leases[i].Name < a.Leases[j].Name })
+	return a, nil
+}
+
+// auditJournal scans one journal file read-only, returning the valid
+// record count and the invalid tail length. Missing files are empty;
+// a present file with the wrong magic is an error.
+func auditJournal(path string, apply func(source string, r record)) (records int, torn int64, err error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: audit: %w", err)
+	}
+	if len(buf) < len(journalMagic) {
+		// A crash can tear the magic itself; everything is tail.
+		return 0, int64(len(buf)), nil
+	}
+	if string(buf[:len(journalMagic)]) != journalMagic {
+		return 0, 0, fmt.Errorf("persist: audit %s: bad journal magic", filepath.Base(path))
+	}
+	source := filepath.Base(path)
+	valid, n := scanFrames(buf[len(journalMagic):], func(r record) { apply(source, r) })
+	return n, int64(len(buf)) - int64(len(journalMagic)) - valid, nil
+}

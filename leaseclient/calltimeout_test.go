@@ -1,0 +1,146 @@
+package leaseclient
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// wedgedServer accepts connections and never replies — the failure mode
+// CallTimeout exists for. It reads (and discards) whatever the client
+// sends so writes succeed and the hang lands on the response read, the
+// same shape a partitioned or deadlocked server presents. The returned
+// func severs every accepted connection (and is also run at cleanup).
+func wedgedServer(t *testing.T) (addr string, sever func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	conns := map[net.Conn]struct{}{}
+	sever = func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for c := range conns {
+			c.Close()
+		}
+	}
+	t.Cleanup(sever)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns[conn] = struct{}{}
+			mu.Unlock()
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), sever
+}
+
+// TestCallTimeoutBoundsWedgedServer: a heartbeat context has no
+// deadline, so without CallTimeout a server that accepts and never
+// replies hangs the call forever. The configured bound must surface a
+// transport error instead.
+func TestCallTimeoutBoundsWedgedServer(t *testing.T) {
+	addr, _ := wedgedServer(t)
+	tr := newBinTransport(addr, 150*time.Millisecond)
+	defer tr.Close()
+
+	start := time.Now()
+	_, err := tr.RenewBatch(context.Background(), &wire.RenewBatchRequest{
+		TTLms: 1000, Items: []wire.Item{{Name: 1, Token: 1}},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("RenewBatch against a wedged server returned nil error")
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		t.Fatalf("timeout classified as ServerError (%v); must read as transport failure", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("call took %v; CallTimeout 150ms did not bound it", elapsed)
+	}
+}
+
+// TestCallTimeoutZeroDefaults: a zero timeout means DefaultCallTimeout,
+// never unbounded — only an explicit negative disables the bound.
+func TestCallTimeoutZeroDefaults(t *testing.T) {
+	if tr := newBinTransport("127.0.0.1:1", 0); tr.timeout != DefaultCallTimeout {
+		t.Fatalf("zero CallTimeout resolved to %v, want %v", tr.timeout, DefaultCallTimeout)
+	}
+	var cfg Config
+	cfg.Target = "bin://127.0.0.1:1"
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CallTimeout != DefaultCallTimeout {
+		t.Fatalf("Config.CallTimeout defaulted to %v, want %v", cfg.CallTimeout, DefaultCallTimeout)
+	}
+}
+
+// TestCallTimeoutUnboundedStillHonorsContext: negative CallTimeout
+// removes the transport's own bound (the fault-injection configuration),
+// but a context deadline must still cut the call loose.
+func TestCallTimeoutUnboundedStillHonorsContext(t *testing.T) {
+	addr, sever := wedgedServer(t)
+	tr := newBinTransport(addr, -1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.RenewBatch(ctx, &wire.RenewBatchRequest{
+		TTLms: 1000, Items: []wire.Item{{Name: 1, Token: 1}},
+	})
+	if err == nil {
+		t.Fatal("RenewBatch returned nil error under an expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("context deadline did not bound the unbounded transport (took %v)", elapsed)
+	}
+
+	// And with neither bound, the call genuinely hangs — the regression
+	// the chaos partition scenario exists to catch. Probe briefly, then
+	// sever the connection so the call (and transport) can be released.
+	done := make(chan struct{})
+	go func() {
+		tr.RenewBatch(context.Background(), &wire.RenewBatchRequest{
+			TTLms: 1000, Items: []wire.Item{{Name: 1, Token: 1}},
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("unbounded call returned; expected it to hang until the conn drops")
+	case <-time.After(400 * time.Millisecond):
+	}
+	sever()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("hung call did not return after its connection was severed")
+	}
+	tr.Close()
+}

@@ -95,9 +95,24 @@ type Config struct {
 	// request. Default 4096 — at the wire's ~25 bytes per item this
 	// stays well inside the server's 1 MiB body limit.
 	MaxBatch int
+	// CallTimeout bounds every round trip whose context carries no
+	// deadline (the heartbeat loop's context never does). Without it a
+	// wedged server — one that accepts a connection and never replies —
+	// would hang a heartbeat forever while the leases it was renewing
+	// burn down. Default DefaultCallTimeout (10s); negative disables the
+	// bound entirely (tests and fault injection only — never production).
+	CallTimeout time.Duration
 	// HTTPClient overrides the HTTP transport's client (http:// targets
-	// only). Default: 5-second timeout.
+	// only). Default: a client with CallTimeout as its overall timeout.
 	HTTPClient *http.Client
+	// Now is the session's clock; defaults to time.Now. The chaos
+	// harness injects skewed clocks here, mirroring lease.Config.Now.
+	Now func() time.Time
+	// Rand is the heartbeat jitter source, returning values in [0,1);
+	// defaults to the global math/rand/v2. Injecting a seeded source
+	// (together with Now) makes the session's renewal schedule
+	// deterministic end-to-end for chaos runs.
+	Rand func() float64
 	// OnLost is invoked (from the heartbeat goroutine, without internal
 	// locks held) for every lease the server refuses to renew: the
 	// session no longer holds the name, and err matches
@@ -129,10 +144,28 @@ func (c *Config) applyDefaults() error {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 4096
 	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = DefaultCallTimeout
+	}
 	if c.HTTPClient == nil {
-		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+		c.HTTPClient = &http.Client{Timeout: maxDuration(c.CallTimeout, 0)}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
 	}
 	return nil
+}
+
+// maxDuration clamps a negative (unbounded) CallTimeout to the
+// http.Client spelling of "no timeout".
+func maxDuration(d, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
 }
 
 // Stats is a snapshot of a session's lifetime counters. Everything a
@@ -206,7 +239,7 @@ func NewSession(cfg Config) (*Session, error) {
 	case cfg.Transport != nil:
 		s.tr = cfg.Transport
 	case strings.HasPrefix(cfg.Target, binScheme):
-		s.tr = newBinTransport(strings.TrimPrefix(cfg.Target, binScheme))
+		s.tr = newBinTransport(strings.TrimPrefix(cfg.Target, binScheme), cfg.CallTimeout)
 		s.ownTransport = true
 	default:
 		// http:// and https:// — and bare host:port for compatibility
@@ -445,7 +478,7 @@ func (s *Session) nextWait() (wait time.Duration, idle bool) {
 		return 0, true
 	}
 	soonest := time.Duration(1<<63 - 1)
-	now := time.Now()
+	now := s.cfg.Now()
 	for _, l := range s.leases {
 		if r := l.ExpiresAt.Sub(now); r < soonest {
 			soonest = r
@@ -460,7 +493,7 @@ func (s *Session) nextWait() (wait time.Duration, idle bool) {
 	}
 	// Jitter de-phases fleets of sessions; floor keeps a pathological
 	// clock (or an already-expired lease) from spinning the loop hot.
-	wait = time.Duration(float64(wait) * (1 + s.cfg.Jitter*(2*rand.Float64()-1)))
+	wait = time.Duration(float64(wait) * (1 + s.cfg.Jitter*(2*s.cfg.Rand()-1)))
 	if wait < time.Millisecond {
 		wait = time.Millisecond
 	}

@@ -35,16 +35,31 @@ type Transport interface {
 	Close() error
 }
 
+// DefaultCallTimeout bounds a round trip whose context carries no
+// deadline. It exists because "no deadline" against a wedged server —
+// one that accepts and never replies — is an unbounded hang in the
+// middle of a heartbeat loop.
+const DefaultCallTimeout = 10 * time.Second
+
 // NewTransport selects a transport by target scheme: "bin://host:port"
 // speaks the binary protocol on a persistent connection, "http://" /
 // "https://" the JSON surface. This is the one place the scheme is
-// interpreted — everything above it is transport-neutral.
+// interpreted — everything above it is transport-neutral. Round trips
+// are bounded by DefaultCallTimeout; NewTransportTimeout overrides it.
 func NewTransport(target string) (Transport, error) {
+	return NewTransportTimeout(target, DefaultCallTimeout)
+}
+
+// NewTransportTimeout is NewTransport with an explicit per-call bound
+// applied when the caller's context has no deadline. timeout <= 0
+// disables the bound (fault-injection harnesses only — a production
+// client should always keep one).
+func NewTransportTimeout(target string, timeout time.Duration) (Transport, error) {
 	switch {
 	case strings.HasPrefix(target, binScheme):
-		return newBinTransport(strings.TrimPrefix(target, binScheme)), nil
+		return newBinTransport(strings.TrimPrefix(target, binScheme), timeout), nil
 	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
-		return newHTTPTransport(target, &http.Client{Timeout: 5 * time.Second}), nil
+		return newHTTPTransport(target, &http.Client{Timeout: maxDuration(timeout, 0)}), nil
 	default:
 		return nil, fmt.Errorf("leaseclient: target %q: unsupported scheme (want http://, https:// or bin://)", target)
 	}

@@ -23,7 +23,7 @@ import (
 // benchreport loadgen, speaking binproto directly.
 type binTransport struct {
 	addr    string
-	timeout time.Duration // per-round-trip bound when ctx has no deadline
+	timeout time.Duration // per-round-trip bound when ctx has no deadline; <= 0 unbounded
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -38,8 +38,16 @@ type binTransport struct {
 	closed  bool
 }
 
-func newBinTransport(addr string) *binTransport {
-	return &binTransport{addr: addr, timeout: 5 * time.Second}
+// newBinTransport dials addr lazily. timeout bounds each round trip
+// when the context carries no deadline (Config.CallTimeout); zero means
+// DefaultCallTimeout, negative means unbounded — the pre-CallTimeout
+// behavior, kept reachable so the chaos harness can prove what a wedged
+// server does to an unbounded client.
+func newBinTransport(addr string, timeout time.Duration) *binTransport {
+	if timeout == 0 {
+		timeout = DefaultCallTimeout
+	}
+	return &binTransport{addr: addr, timeout: timeout}
 }
 
 func (t *binTransport) Acquire(ctx context.Context, req *wire.AcquireRequest) (wire.Lease, error) {
@@ -203,7 +211,7 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 		return nil, err
 	}
 	if t.conn == nil {
-		d := net.Dialer{Timeout: t.timeout}
+		d := net.Dialer{Timeout: dialTimeout(t.timeout)}
 		conn, err := d.DialContext(ctx, "tcp", t.addr)
 		if err != nil {
 			return nil, fmt.Errorf("leaseclient: dial %s: %w", t.addr, err)
@@ -211,8 +219,14 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 		t.conn = conn
 		t.br = bufio.NewReaderSize(conn, 64<<10)
 	}
-	deadline := time.Now().Add(t.timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+	// A context deadline always bounds the round trip; without one the
+	// transport's own CallTimeout does. A negative timeout leaves the
+	// call unbounded — only the fault-injection harness asks for that.
+	var deadline time.Time
+	if t.timeout > 0 {
+		deadline = time.Now().Add(t.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
 	t.conn.SetDeadline(deadline)
@@ -265,6 +279,16 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 		return nil, t.corrupt(opName(typ), fmt.Errorf("response type %#02x for request %#02x", byte(h.Type), byte(typ)))
 	}
 	return t.payload, nil
+}
+
+// dialTimeout keeps connection ESTABLISHMENT bounded even when the
+// round-trip bound is disabled: an unbounded dial hangs on a black-holed
+// SYN, which no configuration should ask for.
+func dialTimeout(t time.Duration) time.Duration {
+	if t > 0 {
+		return t
+	}
+	return DefaultCallTimeout
 }
 
 // opName renders a request type in route-name form for errors.
