@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -278,7 +279,9 @@ func binPipelinedRenewsPerSec(addr string, leases, batch, depth int, dur time.Du
 			<-slots
 			frame := chunks[id%uint64(len(chunks))]
 			id++
-			binproto.PutHeader(frame, binproto.TRenewBatch, id, uint32(len(frame)-binproto.HeaderLen))
+			// Only the request ID changes between sends; the template's
+			// length and payload CRC (stamped by EndFrame) stay valid.
+			binary.BigEndian.PutUint64(frame[4:12], id)
 			if _, err := bw.Write(frame); err != nil {
 				writeErr <- err
 				return

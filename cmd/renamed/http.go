@@ -76,12 +76,12 @@ func newServer(mgr *lease.Manager, store *persist.Store) *server {
 	s.met = newServerMetrics(s)
 	s.core = service.New(mgr, s.met.svc)
 	s.bind = s.core.Bind("http")
-	s.lat.acquire = s.timed("acquire", s.handleAcquire)
-	s.lat.acquireBatch = s.timed("acquire_batch", s.handleAcquireBatch)
-	s.lat.renew = s.timed("renew", s.handleRenew)
-	s.lat.renewBatch = s.timed("renew_batch", s.handleRenewBatch)
-	s.lat.release = s.timed("release", s.handleRelease)
-	s.lat.releaseBatch = s.timed("release_batch", s.handleReleaseBatch)
+	s.lat.acquire = s.mountTimed("acquire", s.handleAcquire)
+	s.lat.acquireBatch = s.mountTimed("acquire_batch", s.handleAcquireBatch)
+	s.lat.renew = s.mountTimed("renew", s.handleRenew)
+	s.lat.renewBatch = s.mountTimed("renew_batch", s.handleRenewBatch)
+	s.lat.release = s.mountTimed("release", s.handleRelease)
+	s.lat.releaseBatch = s.mountTimed("release_batch", s.handleReleaseBatch)
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -112,7 +112,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// slow or failed call can quote the same handle; mint one for bare
 	// callers (curl) so the slow-op log never carries an empty id. The
 	// mint is written back onto the request header, which is where
-	// timed() reads it from.
+	// mountTimed() reads it from.
 	rid := r.Header.Get(wire.HeaderRequestID)
 	if rid == "" {
 		rid = wire.NewRequestID()
@@ -122,10 +122,10 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// timed mounts fn as "POST /v1/<op>" with the per-op instrumentation:
+// mountTimed mounts fn as "POST /v1/<op>" with the per-op instrumentation:
 // request counter, latency histogram (returned, shared with /debug/vars)
 // and the slow-operation log line carrying the request's X-Request-Id.
-func (s *server) timed(op string, fn http.HandlerFunc) *telemetry.Histogram {
+func (s *server) mountTimed(op string, fn http.HandlerFunc) *telemetry.Histogram {
 	h := s.met.latency.With(op)
 	reqs := s.met.requests.With(op)
 	s.mux.HandleFunc("POST /v1/"+op, func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,81 @@
+// Command renamedlint is the repo's multichecker: it runs the
+// internal/lint analyzer suite over the given package patterns and
+// exits nonzero on any finding.
+//
+//	go run ./cmd/renamedlint ./...
+//	go run ./cmd/renamedlint -run determinism,lockdiscipline ./lease ./leaseclient
+//	go run ./cmd/renamedlint ./internal/lint/testdata/src/determinism  # must fail
+//
+// Exit codes follow cmd/chaos: 0 clean, 1 findings, 2 harness error.
+// The last form — pointing the real binary at a known-bad fixture and
+// asserting exit 1 — is how CI proves each analyzer still detects the
+// invariant it pins (testdata/ is invisible to ./... wildcards, so the
+// clean whole-tree run is unaffected).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: renamedlint [-run a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var names []string
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags, err := lint.Run(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "renamedlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "renamedlint: %v\n", err)
+	os.Exit(2)
+}

@@ -49,6 +49,7 @@ func rng(seed uint64, label string) *rand.Rand {
 // leaseclient.Config.Now it shifts the session's view of every TTL and
 // heartbeat deadline while the server (and the checker) keep real time.
 func SkewedClock(skew time.Duration) func() time.Time {
+	//lint:wallclock skew is an offset from the real wall clock by definition; the server and checker keep real time
 	return func() time.Time { return time.Now().Add(skew) }
 }
 

@@ -123,7 +123,8 @@ func (c *Checker) violate(inv, format string, args ...any) {
 	c.violations = append(c.violations, Violation{
 		Invariant: inv,
 		Detail:    fmt.Sprintf(format, args...),
-		Time:      time.Now(),
+		//lint:wallclock violation timestamps are checker observations; sessions may run skewed clocks, the checker never does
+		Time: time.Now(),
 	})
 }
 
@@ -140,6 +141,7 @@ func (c *Checker) Client(id int) *Client { return &Client{c: c, id: id} }
 // name (the server serializes them), so a token at or below the name's
 // previous grant is a fencing regression no matter what else happens.
 func (cl *Client) Acquired(leases ...leaseclient.Lease) {
+	//lint:wallclock belief intervals are judged on the checker's real clock, never a session's skewed one
 	now := time.Now()
 	c := cl.c
 	c.mu.Lock()
@@ -213,6 +215,7 @@ func (cl *Client) ReleaseSent(name int, token uint64) {
 	defer c.mu.Unlock()
 	k := claimKey{client: cl.id, name: name, token: token}
 	if cm, ok := c.open[k]; ok {
+		//lint:wallclock belief intervals are judged on the checker's real clock, never a session's skewed one
 		cm.end = time.Now()
 		cm.why = "released"
 		delete(c.open, k)
@@ -230,6 +233,7 @@ func (cl *Client) LostFunc() func(name int, err error) {
 		defer c.mu.Unlock()
 		for k, cm := range c.open {
 			if k.client == cl.id && k.name == name {
+				//lint:wallclock belief intervals are judged on the checker's real clock, never a session's skewed one
 				cm.end = time.Now()
 				cm.why = "lost"
 				delete(c.open, k)
@@ -260,6 +264,7 @@ func (cl *Client) Closed() {
 	c := cl.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:wallclock belief intervals are judged on the checker's real clock, never a session's skewed one
 	now := time.Now()
 	for k, cm := range c.open {
 		if k.client != cl.id {

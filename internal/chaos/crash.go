@@ -220,6 +220,8 @@ type CrashSchedule struct {
 // teardown always meets a live process. onDown/onUp (optional) observe
 // each transition with its wall-clock instant; the checker registers
 // these as fault windows.
+//
+//lint:wallclock fault windows are stamped with the checker's real clock; crash timing itself comes from the seeded rng
 func (s *Server) CrashLoop(ctx context.Context, seed uint64, cs CrashSchedule, onDown, onUp func(t time.Time)) error {
 	r := rng(seed, "crash")
 	for {

@@ -29,6 +29,14 @@ type Faults struct {
 	// Reset forwards a prefix of the chunk (half of it — mid-frame) and
 	// then severs the connection, both directions.
 	Reset float64
+	// Corrupt XOR-flips one byte of the chunk before forwarding it. The
+	// framing stays intact — length prefixes and HTTP headers still
+	// parse — but the content is damaged, which is the fault Drop and
+	// Reset cannot produce: it probes the payload CRC gate (binproto
+	// ErrChecksum) rather than the framing discipline. A run where the
+	// proxy corrupted chunks but no endpoint reported an error means
+	// damaged data was accepted silently — the checker fails it.
+	Corrupt float64
 	// ByteRate throttles each direction to roughly this many bytes per
 	// second. 0 = unthrottled.
 	ByteRate int
@@ -61,6 +69,7 @@ type ProxyStats struct {
 	Delayed    int64
 	Reordered  int64
 	Resets     int64
+	Corrupted  int64 // chunks forwarded with one byte flipped
 	Blackholed int64 // chunks eaten by a partition window
 }
 
@@ -91,6 +100,7 @@ type Proxy struct {
 	delayed    atomic.Int64
 	reordered  atomic.Int64
 	resets     atomic.Int64
+	corrupted  atomic.Int64
 	blackholed atomic.Int64
 }
 
@@ -109,10 +119,11 @@ func NewProxy(target string, seed uint64, faults Faults) (*Proxy, error) {
 		faults.Groups = 1
 	}
 	p := &Proxy{
-		target:   target,
-		seed:     seed,
-		faults:   faults,
-		ln:       ln,
+		target: target,
+		seed:   seed,
+		faults: faults,
+		ln:     ln,
+		//lint:wallclock the proxy shapes real traffic in real time; elapsed-since-start only phases fault groups, decisions stay seeded
 		start:    time.Now(),
 		conns:    map[net.Conn]struct{}{},
 		upstream: map[net.Conn]struct{}{},
@@ -169,6 +180,7 @@ func (p *Proxy) Stats() ProxyStats {
 		Delayed:    p.delayed.Load(),
 		Reordered:  p.reordered.Load(),
 		Resets:     p.resets.Load(),
+		Corrupted:  p.corrupted.Load(),
 		Blackholed: p.blackholed.Load(),
 	}
 }
@@ -242,11 +254,14 @@ func (p *Proxy) forget(client, upstream net.Conn) {
 
 // decision is one chunk's fate, drawn deterministically.
 type decision struct {
-	blackhole bool
-	drop      bool
-	reset     bool
-	reorder   bool
-	delay     time.Duration
+	blackhole   bool
+	drop        bool
+	reset       bool
+	reorder     bool
+	corrupt     bool
+	corruptPos  float64 // fraction of the chunk length, [0,1)
+	corruptMask byte    // nonzero XOR mask for the flipped byte
+	delay       time.Duration
 }
 
 // pipePlan is the deterministic decision stream for one direction of
@@ -275,6 +290,9 @@ func (pl *pipePlan) next(sinceStart time.Duration, group int, active bool) decis
 	reorderDraw := pl.r.Float64()
 	delayDraw := pl.r.Float64()
 	delayAmt := pl.r.Float64()
+	corruptDraw := pl.r.Float64()
+	corruptPos := pl.r.Float64()
+	corruptMask := byte(1 + pl.r.IntN(255)) // never 0: a flip must flip
 	for _, w := range pl.f.Partitions {
 		if (w.Group == -1 || w.Group == group) && sinceStart >= w.At && sinceStart < w.At+w.For {
 			d.blackhole = true
@@ -293,6 +311,11 @@ func (pl *pipePlan) next(sinceStart time.Duration, group int, active bool) decis
 		return d
 	}
 	d.reorder = reorderDraw < pl.f.Reorder
+	if corruptDraw < pl.f.Corrupt {
+		d.corrupt = true
+		d.corruptPos = corruptPos
+		d.corruptMask = corruptMask
+	}
 	if delayDraw < pl.f.Delay {
 		d.delay = time.Duration(delayAmt * float64(pl.f.DelayMax))
 	}
@@ -303,6 +326,8 @@ func (pl *pipePlan) next(sinceStart time.Duration, group int, active bool) decis
 // reorder buffer: a held chunk is written after the one that follows
 // it (or discarded if the stream ends first — a tail byte lost in
 // flight).
+//
+//lint:wallclock pacing (throttle windows, delivery delays) is real-time behavior; every decision that shapes the schedule comes from the seeded plan
 func (p *Proxy) pump(src, dst net.Conn, plan *pipePlan, group int, sever func()) {
 	defer func() {
 		// Half-close propagation: a finished direction closes both ends;
@@ -329,6 +354,14 @@ func (p *Proxy) pump(src, dst net.Conn, plan *pipePlan, group int, sever func())
 				dst.Write(chunk[:n/2])
 				return
 			default:
+				if d.corrupt {
+					// One byte, XOR-flipped in place. Position scales with
+					// the chunk so small heartbeat frames and large batch
+					// responses are both covered; Float64 is in [0,1) so
+					// the index stays in range.
+					chunk[int(d.corruptPos*float64(n))] ^= d.corruptMask
+					p.corrupted.Add(1)
+				}
 				if d.delay > 0 {
 					p.delayed.Add(1)
 					time.Sleep(d.delay)

@@ -15,7 +15,8 @@ func collectDecisions(pl *pipePlan, n int) string {
 	var b bytes.Buffer
 	for i := 0; i < n; i++ {
 		d := pl.next(time.Duration(i)*10*time.Millisecond, 0, true)
-		fmt.Fprintf(&b, "%v|%v|%v|%v|%v;", d.blackhole, d.drop, d.reset, d.reorder, d.delay)
+		fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|%.4f|%d;",
+			d.blackhole, d.drop, d.reset, d.reorder, d.delay, d.corrupt, d.corruptPos, d.corruptMask)
 	}
 	return b.String()
 }
@@ -163,6 +164,50 @@ func TestProxyPartitionBlackholes(t *testing.T) {
 	}
 	if st := p.Stats(); st.Blackholed == 0 {
 		t.Fatal("no chunks counted as blackholed")
+	}
+}
+
+// TestProxyCorruptFlipsBytes: with Corrupt at 1 every forwarded chunk is
+// damaged — same length, different content — so an echo round trip comes
+// back corrupted on both legs. This is the fault that must light up the
+// binproto CRC gate; here we only prove the proxy actually flips bytes
+// and keeps the framing (byte count) intact.
+func TestProxyCorruptFlipsBytes(t *testing.T) {
+	upstream := echoServer(t)
+	p, err := NewProxy(upstream, 1, Faults{Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("checksums exist for a reason")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+		}
+	}
+	// Each direction flips exactly one byte; the two flips can land on
+	// different positions (2 differing bytes) or the same one (1, or 0
+	// only if the masks cancel — seed 1 does not do that).
+	if diff == 0 || diff > 2 {
+		t.Fatalf("echo differs in %d bytes, want 1 or 2 (one flip per direction)", diff)
+	}
+	if st := p.Stats(); st.Corrupted != 2 {
+		t.Fatalf("stats %+v, want Corrupted == 2 (one per direction)", st)
 	}
 }
 

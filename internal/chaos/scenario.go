@@ -72,24 +72,27 @@ type Options struct {
 
 // Report is the machine-readable outcome of one run.
 type Report struct {
-	Scenario    string          `json:"scenario"`
-	Description string          `json:"description"`
-	Seed        uint64          `json:"seed"`
-	Transport   string          `json:"transport"`
-	Inject      string          `json:"inject,omitempty"`
-	Start       time.Time       `json:"start"`
-	Duration    time.Duration   `json:"duration_ns"`
-	Clients     int             `json:"clients"`
-	Checker     CheckerStats    `json:"checker"`
-	Proxy       ProxyStats      `json:"proxy"`
-	CallFaults  TransportStats  `json:"call_faults"`
-	Crashes     int64           `json:"crashes"`
-	Violations  []Violation     `json:"violations"`
-	AuditLive   int             `json:"audit_live_leases"`
-	AuditToken  uint64          `json:"audit_max_token"`
-	AuditTorn   int64           `json:"audit_torn_bytes"`
-	ServerVars  json.RawMessage `json:"server_vars,omitempty"`
-	Pass        bool            `json:"pass"`
+	Scenario    string         `json:"scenario"`
+	Description string         `json:"description"`
+	Seed        uint64         `json:"seed"`
+	Transport   string         `json:"transport"`
+	Inject      string         `json:"inject,omitempty"`
+	Start       time.Time      `json:"start"`
+	Duration    time.Duration  `json:"duration_ns"`
+	Clients     int            `json:"clients"`
+	Checker     CheckerStats   `json:"checker"`
+	Proxy       ProxyStats     `json:"proxy"`
+	CallFaults  TransportStats `json:"call_faults"`
+	// TransportErrors aggregates every session's failed round trips —
+	// the evidence that injected corruption was DETECTED, not absorbed.
+	TransportErrors int64           `json:"transport_errors"`
+	Crashes         int64           `json:"crashes"`
+	Violations      []Violation     `json:"violations"`
+	AuditLive       int             `json:"audit_live_leases"`
+	AuditToken      uint64          `json:"audit_max_token"`
+	AuditTorn       int64           `json:"audit_torn_bytes"`
+	ServerVars      json.RawMessage `json:"server_vars,omitempty"`
+	Pass            bool            `json:"pass"`
 }
 
 // Print renders the human summary.
@@ -102,8 +105,12 @@ func (r *Report) Print(w io.Writer) {
 		r.Scenario, status, r.Seed, r.Transport, r.Duration.Round(time.Millisecond), r.Clients)
 	fmt.Fprintf(w, "  leases: %d acquired, %d released, %d lost, %d names, max token %d\n",
 		r.Checker.Acquired, r.Checker.Released, r.Checker.Lost, r.Checker.Names, r.Checker.MaxToken)
-	fmt.Fprintf(w, "  proxy: %d conns, %d chunks, %d dropped, %d delayed, %d reordered, %d resets, %d blackholed\n",
-		r.Proxy.Conns, r.Proxy.Chunks, r.Proxy.Dropped, r.Proxy.Delayed, r.Proxy.Reordered, r.Proxy.Resets, r.Proxy.Blackholed)
+	fmt.Fprintf(w, "  proxy: %d conns, %d chunks, %d dropped, %d delayed, %d reordered, %d resets, %d corrupted, %d blackholed\n",
+		r.Proxy.Conns, r.Proxy.Chunks, r.Proxy.Dropped, r.Proxy.Delayed, r.Proxy.Reordered, r.Proxy.Resets, r.Proxy.Corrupted, r.Proxy.Blackholed)
+	if r.Proxy.Corrupted > 0 {
+		fmt.Fprintf(w, "  corruption: %d chunks damaged, %d transport errors observed\n",
+			r.Proxy.Corrupted, r.TransportErrors)
+	}
 	fmt.Fprintf(w, "  calls: %d dup renews, %d dup releases, %d deferred; crashes: %d\n",
 		r.CallFaults.DupRenews, r.CallFaults.DupReleases, r.CallFaults.Deferred, r.Crashes)
 	fmt.Fprintf(w, "  audit: %d live leases, watermark %d, %d torn bytes\n",
@@ -132,6 +139,13 @@ func Scenarios() map[string]Scenario {
 			Description: "dropped and delayed chunks with occasional mid-frame resets",
 			Clients:     5, LeasesEach: 10, TTL: 3 * time.Second,
 			Proxy: Faults{Drop: 0.03, Delay: 0.25, DelayMax: 40 * time.Millisecond, Reset: 0.004},
+			Churn: 0.3,
+		},
+		{
+			Name:        "corrupt",
+			Description: "bytes flipped in flight — framing intact, content damaged; every corruption must be caught by the payload CRC, never accepted as data",
+			Clients:     5, LeasesEach: 10, TTL: 3 * time.Second,
+			Proxy: Faults{Corrupt: 0.04, Delay: 0.15, DelayMax: 25 * time.Millisecond},
 			Churn: 0.3,
 		},
 		{
@@ -209,6 +223,8 @@ func freePort() (string, error) {
 
 // Run executes one scenario end to end: real server process, fault
 // proxy, real sessions, invariant checker, post-run journal audit.
+//
+//lint:wallclock the run clock frames real subprocess and socket activity; everything schedule-shaping draws from rng(seed, label)
 func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
@@ -294,7 +310,7 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	// Probabilistic faults cover the whole fault phase; windows and
 	// crashes register themselves as they happen.
 	probabilistic := sc.Proxy.Drop > 0 || sc.Proxy.Delay > 0 || sc.Proxy.Reorder > 0 ||
-		sc.Proxy.Reset > 0 || sc.Proxy.ByteRate > 0 ||
+		sc.Proxy.Reset > 0 || sc.Proxy.Corrupt > 0 || sc.Proxy.ByteRate > 0 ||
 		sc.Transport.DupRenew > 0 || sc.Transport.DupRelease > 0 || sc.Transport.Defer > 0
 	if probabilistic {
 		checker.Fault(start, start.Add(faultPhase).Add(sc.TTL), "probabilistic")
@@ -509,24 +525,44 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	}
 
 	violations := checker.Finish(end, audit)
+
+	// Corruption-detection expectation: the CRC gate must convert every
+	// damaged chunk into an observable error. If the proxy flipped bytes
+	// and NO session ever saw a round trip fail, damaged frames were
+	// accepted as data — a fail-open checksum, and a violation in its
+	// own right even when the lease invariants happen to hold.
+	var transportErrs int64
+	for _, cr := range clients {
+		transportErrs += cr.sess.Stats().TransportErrors
+	}
+	if ps := proxy.Stats(); ps.Corrupted > 0 && transportErrs == 0 {
+		violations = append(violations, Violation{
+			Invariant: "corruption-detected",
+			Detail: fmt.Sprintf("proxy corrupted %d chunks but no session observed a transport error — damaged frames were accepted silently",
+				ps.Corrupted),
+			Time: end,
+		})
+	}
+
 	rep := &Report{
-		Scenario:    sc.Name,
-		Description: sc.Description,
-		Seed:        opts.Seed,
-		Transport:   opts.Transport,
-		Inject:      opts.Inject,
-		Start:       start,
-		Duration:    time.Since(start),
-		Clients:     sc.Clients,
-		Checker:     checker.Stats(),
-		Proxy:       proxy.Stats(),
-		Crashes:     crashes,
-		Violations:  violations,
-		AuditLive:   len(audit.Leases),
-		AuditToken:  audit.MaxToken,
-		AuditTorn:   audit.TornBytes,
-		ServerVars:  serverVars,
-		Pass:        len(violations) == 0,
+		Scenario:        sc.Name,
+		Description:     sc.Description,
+		Seed:            opts.Seed,
+		Transport:       opts.Transport,
+		Inject:          opts.Inject,
+		Start:           start,
+		Duration:        time.Since(start),
+		Clients:         sc.Clients,
+		Checker:         checker.Stats(),
+		Proxy:           proxy.Stats(),
+		Crashes:         crashes,
+		Violations:      violations,
+		AuditLive:       len(audit.Leases),
+		AuditToken:      audit.MaxToken,
+		AuditTorn:       audit.TornBytes,
+		ServerVars:      serverVars,
+		TransportErrors: transportErrs,
+		Pass:            len(violations) == 0,
 	}
 	for _, cr := range clients {
 		st := cr.ft.Stats()

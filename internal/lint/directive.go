@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The two annotation grammars the suite understands:
+//
+//	//lint:wallclock <justification>
+//	    Suppresses a determinism finding. Valid on the offending line,
+//	    the line directly above it, or in the enclosing function's doc
+//	    comment (which then covers the whole function). The
+//	    justification is mandatory: an empty one is itself a finding.
+//
+//	//renamed:noalloc
+//	    Declares the annotated function heap-escape-free; the noalloc
+//	    analyzer fails the build if the compiler's escape analysis
+//	    disagrees. Valid only in a function's doc comment.
+const (
+	wallclockDirective = "//lint:wallclock"
+	noallocDirective   = "//renamed:noalloc"
+)
+
+// wallclock describes the annotation state covering one position.
+type wallclock struct {
+	found         bool
+	justification string
+	pos           token.Pos
+}
+
+// wallclockAt looks for a //lint:wallclock directive covering pos:
+// same line, the line above, or the doc comment of the enclosing
+// function declaration.
+func wallclockAt(pass *Pass, file *ast.File, pos token.Pos) wallclock {
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, wallclockDirective) {
+				continue
+			}
+			cline := pass.Fset.Position(c.Pos()).Line
+			if cline == line || cline == line-1 {
+				return wallclock{
+					found:         true,
+					justification: strings.TrimSpace(strings.TrimPrefix(c.Text, wallclockDirective)),
+					pos:           c.Pos(),
+				}
+			}
+		}
+	}
+	if fd := enclosingFunc(file, pos); fd != nil && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, wallclockDirective) {
+				return wallclock{
+					found:         true,
+					justification: strings.TrimSpace(strings.TrimPrefix(c.Text, wallclockDirective)),
+					pos:           c.Pos(),
+				}
+			}
+		}
+	}
+	return wallclock{}
+}
+
+// enclosingFunc returns the function declaration whose body spans pos,
+// or nil at package scope.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// noallocFuncs collects every function in the pass annotated
+// //renamed:noalloc, keyed for matching against compiler escape output.
+type noallocFunc struct {
+	name      string
+	file      string // basename, as the compiler prints it
+	from, to  int    // inclusive line span of the declaration
+	decl      *ast.FuncDecl
+	annotated token.Pos
+}
+
+func noallocFuncs(pass *Pass) []noallocFunc {
+	var out []noallocFunc
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if !strings.HasPrefix(c.Text, noallocDirective) {
+					continue
+				}
+				start := pass.Fset.Position(fd.Pos())
+				end := pass.Fset.Position(fd.End())
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+				}
+				out = append(out, noallocFunc{
+					name:      name,
+					file:      baseName(start.Filename),
+					from:      start.Line,
+					to:        end.Line,
+					decl:      fd,
+					annotated: c.Pos(),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return "?"
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

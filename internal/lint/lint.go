@@ -1,0 +1,167 @@
+// Package lint is the repo's custom static-analysis suite: a small
+// go/analysis-shaped framework (the container image carries no module
+// proxy, so golang.org/x/tools is out of reach — the API mirrors it on
+// the standard library instead) plus the five analyzers that pin the
+// coding invariants earlier PRs fought for:
+//
+//   - lockdiscipline — the PR-5 reclaim protocol: nothing that can
+//     block or re-enter the namer runs under a stripe lock.
+//   - determinism — the PR-8 chaos contract: seeded packages draw time
+//     and randomness through injected fields, never the globals.
+//   - noalloc — the PR-7 hot-path claim: //renamed:noalloc functions
+//     stay free of heap escapes, checked against the compiler's own
+//     escape analysis.
+//   - telemetryhandles — the PR-7 bind-time rule: metric series are
+//     resolved once at wiring time, never per request.
+//   - wireerrors — the PR-3 taxonomy: wire/service errors wrap typed
+//     sentinels so errors.Is keeps working across the wire.
+//
+// Analyzers scope themselves by import path; each also accepts its own
+// fixture package under internal/lint/testdata/src/<name>, which is how
+// both the unit tests and the CI detection proof (cmd/renamedlint run
+// directly against a known-bad fixture, asserting a nonzero exit)
+// exercise it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single package and
+// reports findings through the Pass; returning an error means the
+// analyzer itself failed (missing input, subprocess failure), not that
+// the code under analysis is bad.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Dir is the package directory on disk, for analyzers that shell
+	// out to the toolchain (noalloc).
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether this pass's package is one of the given
+// import paths, or the analyzer's own fixture package. Fixtures live
+// under internal/lint/testdata/src/<analyzer> and are matched by
+// suffix so they resolve both as repro/internal/lint/testdata/... (the
+// in-module view) and under any future module path.
+func (p *Pass) InScope(paths ...string) bool {
+	got := p.Pkg.Path()
+	for _, want := range paths {
+		if got == want {
+			return true
+		}
+	}
+	return strings.HasSuffix(got, "lint/testdata/src/"+p.Analyzer.Name)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockDiscipline,
+		Determinism,
+		NoAlloc,
+		TelemetryHandles,
+		WireErrors,
+	}
+}
+
+// ByName resolves a subset of the suite by name, erroring on unknowns.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(all))
+			for _, a := range all {
+				known = append(known, a.Name)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position. Analyzer failures (not findings) come back as an
+// error after all packages have been attempted.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Dir:      pkg.Dir,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s on %s: %v", a.Name, pkg.ImportPath, err))
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("%s", strings.Join(errs, "; "))
+	}
+	return diags, nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TelemetryHandles pins the PR-7 bind-time pre-resolution rule: metric
+// series are looked up once, when a transport binds to the service
+// core (service.Core.Bind / NewTelemetry / cmd/renamed's
+// newServerMetrics), and the request path touches only the resolved
+// handles. A Registry or Vec lookup on the request path re-hashes the
+// label set and takes the family lock per request — exactly the cost
+// the opHandle table exists to avoid.
+//
+// Heuristic: inside the scoped packages, a call to a lookup method
+// (Registry.Counter/CounterVec/Histogram/HistogramVec/GaugeVec/
+// CounterFunc/GaugeFunc, or With/WithLabelValues on a Vec) on a
+// repro/internal/telemetry type is flagged unless the enclosing
+// function is wiring-time by construction: a constructor (New*/new*),
+// a mount helper (mount*), init, main, Bind, or the handle-table
+// builder itself (handle). Request paths are everything else —
+// including function literals built *inside* wiring-time functions
+// and passed to another call or returned: a closure registered at
+// mount time runs once per request (or per scrape), so a lookup in
+// its body is still a per-request lookup. The one exception is a
+// literal bound to a local name, the wiring-helper idiom
+// (newServerMetrics's leaseCounter), which is invoked in place.
+var TelemetryHandles = &Analyzer{
+	Name: "telemetryhandles",
+	Doc:  "flag telemetry registry/vec lookups outside bind-time wiring functions",
+	Run:  runTelemetryHandles,
+}
+
+// telemetryLookups maps receiver type name to its lookup methods.
+var telemetryLookups = map[string]map[string]bool{
+	"Registry": {
+		"Counter": true, "CounterVec": true, "CounterFunc": true,
+		"Gauge": true, "GaugeVec": true, "GaugeFunc": true,
+		"Histogram": true, "HistogramVec": true,
+	},
+	"CounterVec":   {"With": true, "WithLabelValues": true},
+	"GaugeVec":     {"With": true, "WithLabelValues": true},
+	"HistogramVec": {"With": true, "WithLabelValues": true},
+}
+
+func runTelemetryHandles(pass *Pass) error {
+	if !pass.InScope("repro/internal/service", "repro/cmd/renamed") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !bindTimeFunc(fd.Name.Name) {
+				inspectLookups(pass, fd.Body, "in "+fd.Name.Name)
+				continue
+			}
+			// Wiring-time functions look series up freely, and so do
+			// helper closures they bind to a local name and invoke in
+			// place (newServerMetrics's leaseCounter idiom). A literal
+			// passed straight to another call or returned is a
+			// callback — it runs later, per request or per scrape —
+			// so its body is checked.
+			helpers := map[ast.Node]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, r := range as.Rhs {
+						if lit, ok := r.(*ast.FuncLit); ok {
+							helpers[lit] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || helpers[lit] {
+					return true
+				}
+				inspectLookups(pass, lit.Body, "in a closure built by "+fd.Name.Name)
+				return false
+			})
+		}
+	}
+	return nil
+}
+
+// inspectLookups flags every telemetry lookup call in body, including
+// inside nested function literals.
+func inspectLookups(pass *Pass, body *ast.BlockStmt, where string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			return true
+		}
+		recv := namedTypeName(sig.Recv().Type())
+		methods, ok := telemetryLookups[recv]
+		if !ok || !methods[fn.Name()] || !telemetryType(sig.Recv().Type()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"telemetry lookup %s.%s on a request path (%s): resolve the handle at bind time (Core.Bind / NewTelemetry / newServerMetrics) and use the pre-resolved series",
+			recv, fn.Name(), where)
+		return true
+	})
+}
+
+// bindTimeFunc reports whether a function name marks wiring-time code
+// where registry lookups are sanctioned.
+func bindTimeFunc(name string) bool {
+	if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "mount") {
+		return true
+	}
+	switch name {
+	case "init", "main", "Bind", "handle":
+		return true
+	}
+	return false
+}
+
+// namedTypeName unwraps pointers and returns the named type's bare
+// name, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// telemetryType reports whether t is declared in the telemetry package
+// (or in this analyzer's fixture, which stands in for it).
+func telemetryType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "repro/internal/telemetry" ||
+		strings.HasSuffix(path, "lint/testdata/src/telemetryhandles")
+}

@@ -1,0 +1,62 @@
+// Package determinism is the known-bad fixture for the determinism
+// analyzer: every flagged line carries a `// want` expectation, and the
+// clean idioms (injected clocks, owned rand sources, justified
+// wallclock annotations) must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Config mirrors leaseclient.Config: time and randomness are injected.
+type Config struct {
+	Now  func() time.Time
+	Rand func() float64
+}
+
+// applyDefaults assigns the globals as function values — the injection
+// idiom itself, never flagged.
+func applyDefaults(c *Config) {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+}
+
+func heartbeat(c *Config) time.Duration {
+	applyDefaults(c)
+	start := time.Now()   // want `wall-clock read time\.Now`
+	_ = time.Since(start) // want `wall-clock read time\.Since`
+	_ = time.Until(start) // want `wall-clock read time\.Until`
+	return c.Now().Sub(start)
+}
+
+func jitter(c *Config) float64 {
+	_ = rand.Uint64()  // want `global rand draw rand\.Uint64`
+	_ = randv2.IntN(5) // want `global rand draw rand\.IntN`
+	r := randv2.New(randv2.NewPCG(1, 2))
+	return r.Float64() * c.Rand()
+}
+
+// netDeadline shows the escape hatch: wall clock by explicit decision,
+// justified on the line above.
+func netDeadline() time.Time {
+	//lint:wallclock net.Conn deadlines are wall-clock by contract
+	return time.Now().Add(time.Second)
+}
+
+// checkerClock is covered by a function-level annotation.
+//
+//lint:wallclock the checker observes with an unskewed real clock by design
+func checkerClock() time.Time {
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//lint:wallclock
+	return time.Now() // want `lint:wallclock requires a justification`
+}

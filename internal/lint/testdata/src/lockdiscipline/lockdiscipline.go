@@ -1,0 +1,72 @@
+// Package lockdiscipline is the known-bad fixture for the
+// lockdiscipline analyzer: a miniature of lease.Manager's shard with
+// every forbidden under-lock call flagged and the sanctioned
+// collect-then-release-after-Unlock shape left silent.
+package lockdiscipline
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Namer stands in for renaming.Namer.
+type Namer interface {
+	Release(name int) error
+}
+
+// Observer has the four sanctioned hooks plus a fifth that must never
+// run under the stripe lock.
+type Observer interface {
+	ObserveAcquire(name int)
+	ObserveRenew(name int, token uint64)
+	ObserveRelease(name int, token uint64)
+	ObserveExpire(name int, token uint64)
+	ObserveDebug(name int)
+}
+
+type manager struct {
+	mu    sync.Mutex
+	namer Namer
+	obs   Observer
+}
+
+// expireLocked runs with the stripe lock held — the *Locked naming
+// convention makes the whole body a locked context.
+func (m *manager) expireLocked(name int) {
+	m.obs.ObserveExpire(name, 1) // sanctioned hook
+	m.obs.ObserveDebug(name)     // want `unsanctioned Observer method ObserveDebug`
+	m.namer.Release(name)        // want `namer Release called while holding a stripe lock`
+}
+
+// reclaim is clean in isolation but reachable from sweep's locked
+// region: the transitive closure flags it.
+func (m *manager) reclaim(name int) {
+	m.namer.Release(name) // want `namer Release called while holding a stripe lock`
+}
+
+func (m *manager) sweep() {
+	var stale []int
+	m.mu.Lock()
+	m.reclaim(1)                 // pulls reclaim into the locked context
+	_, _ = os.ReadFile("state")  // want `can block on I/O while holding a stripe lock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding a stripe lock`
+	stale = append(stale, 2)
+	m.mu.Unlock()
+	// The sanctioned shape: collected under the lock, released after.
+	for _, n := range stale {
+		m.namer.Release(n)
+	}
+}
+
+func (m *manager) deferred() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, _ = http.Get("http://example") // want `can block on I/O while holding a stripe lock`
+}
+
+// release never holds the lock: nothing to flag.
+func (m *manager) release(name int) {
+	m.namer.Release(name)
+}

@@ -1,0 +1,21 @@
+// Package noalloc is the known-bad fixture for the noalloc analyzer:
+// one annotated function the compiler's escape analysis proves clean,
+// one it proves allocating.
+package noalloc
+
+// AppendU32 appends big-endian v to dst — the codec idiom: the only
+// heap traffic is the caller's own slice.
+//
+//renamed:noalloc
+func AppendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Box claims to be allocation-free but returns a pointer to a local,
+// which the compiler moves to the heap.
+//
+//renamed:noalloc
+func Box(v int) *int { // want `annotated //renamed:noalloc but the compiler reports a heap allocation`
+	x := v
+	return &x
+}

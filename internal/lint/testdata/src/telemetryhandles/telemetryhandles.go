@@ -1,0 +1,55 @@
+// Package telemetryhandles is the known-bad fixture for the
+// telemetryhandles analyzer: local stand-ins for the telemetry types,
+// bind-time lookups left silent, request-path lookups flagged.
+package telemetryhandles
+
+type Registry struct{}
+
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+type CounterVec struct{}
+
+func (v *CounterVec) WithLabelValues(vals ...string) *Counter { return &Counter{} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type server struct {
+	reg *Registry
+	vec *CounterVec
+	ok  *Counter
+}
+
+// NewServer resolves every series once at wiring time: sanctioned.
+func NewServer(reg *Registry) *server {
+	v := reg.CounterVec("requests_total", "requests", "op")
+	return &server{reg: reg, vec: v, ok: v.WithLabelValues("acquire")}
+}
+
+func (s *server) handleAcquire() {
+	s.ok.Inc()                             // pre-resolved handle
+	s.vec.WithLabelValues("acquire").Inc() // want `telemetry lookup CounterVec\.WithLabelValues on a request path`
+	s.reg.CounterVec("x_total", "x", "op") // want `telemetry lookup Registry\.CounterVec on a request path`
+}
+
+// mountTimed itself is wiring-time (mount* prefix) — its own lookup is
+// sanctioned — but the closure it returns runs per request, so a
+// lookup inside the literal is still flagged.
+func (s *server) mountTimed(op string) func() {
+	ok := s.vec.WithLabelValues(op) // sanctioned: resolved at mount time
+	return func() {
+		ok.Inc()
+		s.vec.WithLabelValues(op).Inc() // want `telemetry lookup CounterVec\.WithLabelValues on a request path \(in a closure built by mountTimed\)`
+	}
+}
+
+// newGauges binds a helper closure to a local name and invokes it in
+// place — the wiring-helper idiom — so its lookups stay sanctioned.
+func newGauges(reg *Registry) {
+	mk := func(name string) *CounterVec { return reg.CounterVec(name, "h", "op") }
+	mk("a_total")
+	mk("b_total")
+}

@@ -1,0 +1,23 @@
+// Package wireerrors is the known-bad fixture for the wireerrors
+// analyzer: sentinels and %w-wrapping stay silent, chain-severing
+// Errorf and ad-hoc errors.New are flagged.
+package wireerrors
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExpired is a package-level sentinel — the taxonomy itself.
+var ErrExpired = errors.New("renamed: lease expired")
+
+func classify(code, msg string) error {
+	switch code {
+	case "expired":
+		return fmt.Errorf("server %q: %w", msg, ErrExpired)
+	case "unknown":
+		return fmt.Errorf("unrecognized code %q", code) // want `fmt\.Errorf without %w severs the error chain`
+	default:
+		return errors.New("unclassified " + code) // want `errors\.New inside a function bypasses the typed taxonomy`
+	}
+}

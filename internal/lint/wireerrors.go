@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// WireErrors pins the PR-3 error taxonomy across the wire boundary:
+// internal/wire defines the machine-readable codes and their sentinel
+// errors, and everything the service layer returns must stay
+// errors.Is-able against them — that is what lets leaseclient decide
+// retry-vs-surrender and lets per-item batch verdicts round-trip both
+// transports. Two ways the taxonomy erodes, both flagged here:
+//
+//   - fmt.Errorf without %w: the chain breaks and errors.Is stops
+//     seeing the sentinel behind the message.
+//   - errors.New inside a function body: a fresh anonymous root error
+//     no caller can classify. Sentinels belong at package level
+//     (var ErrX = errors.New(...)), everything else wraps one.
+var WireErrors = &Analyzer{
+	Name: "wireerrors",
+	Doc:  "flag fmt.Errorf without %w and ad-hoc errors.New in wire/service code",
+	Run:  runWireErrors,
+}
+
+func runWireErrors(pass *Pass) error {
+	if !pass.InScope("repro/internal/wire", "repro/internal/wire/binproto", "repro/internal/service") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					if format, ok := formatLiteral(call); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w severs the error chain: wrap a wire sentinel so errors.Is keeps classifying it")
+					}
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					pass.Reportf(call.Pos(),
+						"errors.New inside a function bypasses the typed taxonomy: declare a package-level sentinel or wrap an existing wire error")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// formatLiteral extracts a constant string first argument, unquoted.
+func formatLiteral(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

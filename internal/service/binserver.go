@@ -3,7 +3,6 @@ package service
 import (
 	"bufio"
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -82,7 +81,7 @@ func (s *BinServer) Serve(ln net.Listener) error {
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
-		return errors.New("binserver: closed")
+		return fmt.Errorf("binserver: %w", lease.ErrClosed)
 	}
 	s.ln = ln
 	s.mu.Unlock()
@@ -185,6 +184,15 @@ func (s *BinServer) serveConn(conn net.Conn) {
 		}
 		c.payload = c.payload[:h.Len]
 		if _, err := io.ReadFull(c.br, c.payload); err != nil {
+			return
+		}
+		if err := binproto.VerifyPayload(h, c.payload); err != nil {
+			// Damaged bytes with an intact-looking header: the stream
+			// cannot be trusted past this point. Same treatment as a
+			// bad header — answer once, then drop the link so the
+			// client redials onto a clean stream.
+			c.writeError(h.ID, binproto.CodeBadRequest, err.Error())
+			c.flush()
 			return
 		}
 		if !c.dispatch(ctx, h) {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -186,11 +187,11 @@ func TestBinServerOversizedFrameRejected(t *testing.T) {
 	defer conn.Close()
 
 	// Hand-build a header claiming an absurd length: the length field is
-	// the last 4 header bytes, big-endian.
+	// header bytes 12..16, big-endian.
 	buf, start := binproto.BeginFrame(nil, binproto.TAcquire, 1)
 	buf = binproto.AppendAcquireReq(buf, "big", 60_000, nil)
 	buf = binproto.EndFrame(buf, start)
-	binary.BigEndian.PutUint32(buf[binproto.HeaderLen-4:binproto.HeaderLen], binproto.MaxPayload+1)
+	binary.BigEndian.PutUint32(buf[12:16], binproto.MaxPayload+1)
 	if _, err := conn.Write(buf[:binproto.HeaderLen]); err != nil {
 		t.Fatal(err)
 	}
@@ -211,5 +212,42 @@ func TestBinServerOversizedFrameRejected(t *testing.T) {
 	}
 	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
 		t.Fatalf("connection survived a desynchronizing header: %v", err)
+	}
+}
+
+// TestBinServerCorruptPayloadRejected: a frame whose payload fails the
+// CRC gate is answered with one TError (bad_request) and the connection
+// drops — damaged bytes mean the stream can no longer be trusted, so
+// the client must redial onto a clean one.
+func TestBinServerCorruptPayloadRejected(t *testing.T) {
+	addr, _ := startBinServer(t, 16, BinConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	buf, start := binproto.BeginFrame(nil, binproto.TAcquire, 9)
+	buf = binproto.AppendAcquireReq(buf, "corrupt", 60_000, nil)
+	buf = binproto.EndFrame(buf, start)
+	buf[len(buf)-1] ^= 0x01 // one flipped payload bit; header untouched
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	br := bufio.NewReader(conn)
+	h, payload := readFrame(t, br)
+	if h.Type != binproto.TError || h.ID != 9 {
+		t.Fatalf("corrupt frame answer = %+v, want TError echoing id 9", h)
+	}
+	code, msg, derr := binproto.DecodeErrorResp(payload)
+	if derr != nil || code != binproto.CodeBadRequest {
+		t.Fatalf("error resp = (%d, %q, %v), want bad_request", code, msg, derr)
+	}
+	if !strings.Contains(msg, "checksum") {
+		t.Fatalf("error message %q does not name the checksum", msg)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("read after corrupt frame = %v, want EOF (connection dropped)", err)
 	}
 }

@@ -39,6 +39,8 @@ func NewCounter() *Counter {
 
 // Add adds n to the counter. Negative deltas are a programmer error
 // (counters are monotonic) but are not checked on the hot path.
+//
+//renamed:noalloc
 func (c *Counter) Add(n int64) {
 	// rand.Uint64 reads the per-thread generator — no lock, no alloc,
 	// ~2ns — so concurrent writers spread across stripes without any
@@ -47,6 +49,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc adds 1.
+//
+//renamed:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value folds the stripes into the counter's current value.

@@ -44,6 +44,8 @@ const (
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one duration. Negative durations clamp to zero.
+//
+//renamed:noalloc
 func (h *Histogram) Observe(d time.Duration) {
 	ns := d.Nanoseconds()
 	if ns < 0 {

@@ -126,19 +126,23 @@ func (r *reader) done() error {
 	return nil
 }
 
+//renamed:noalloc
 func appendU16(dst []byte, v uint16) []byte {
 	return append(dst, byte(v>>8), byte(v))
 }
 
+//renamed:noalloc
 func appendU32(dst []byte, v uint32) []byte {
 	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+//renamed:noalloc
 func appendU64(dst []byte, v uint64) []byte {
 	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
 		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+//renamed:noalloc
 func appendI64(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) }
 
 func appendStr(dst []byte, s string) []byte {
@@ -245,6 +249,8 @@ func DecodeAcquireBatchReq(p []byte) (owner string, count int, ttlMs int64, meta
 }
 
 // AppendLease encodes one granted lease (acquire/renew responses).
+//
+//renamed:noalloc
 func AppendLease(dst []byte, name int64, token uint64, expiresMs int64) []byte {
 	dst = appendI64(dst, name)
 	dst = appendU64(dst, token)
@@ -252,6 +258,8 @@ func AppendLease(dst []byte, name int64, token uint64, expiresMs int64) []byte {
 }
 
 // DecodeLease decodes a single-lease response payload (TAcquire, TRenew).
+//
+//renamed:noalloc
 func DecodeLease(p []byte) (Lease, error) {
 	r := reader{p: p}
 	l, ok := decodeLease(&r)
@@ -279,12 +287,16 @@ func decodeLease(r *reader) (Lease, bool) {
 
 // AppendLeasesRespHeader opens a TAcquireBatch response; follow with one
 // AppendLease per granted lease.
+//
+//renamed:noalloc
 func AppendLeasesRespHeader(dst []byte, count int) []byte {
 	return appendU32(dst, uint32(count))
 }
 
 // DecodeLeasesResp decodes a TAcquireBatch response into out (reused
 // when capacity allows).
+//
+//renamed:noalloc
 func DecodeLeasesResp(p []byte, out []Lease) ([]Lease, error) {
 	r := reader{p: p}
 	count, ok := r.u32()
@@ -305,6 +317,8 @@ func DecodeLeasesResp(p []byte, out []Lease) ([]Lease, error) {
 // --- renew ---
 
 // AppendRenewReq encodes a TRenew request payload.
+//
+//renamed:noalloc
 func AppendRenewReq(dst []byte, name int64, token uint64, ttlMs int64) []byte {
 	dst = appendI64(dst, name)
 	dst = appendU64(dst, token)
@@ -312,6 +326,8 @@ func AppendRenewReq(dst []byte, name int64, token uint64, ttlMs int64) []byte {
 }
 
 // DecodeRenewReq decodes a TRenew request payload.
+//
+//renamed:noalloc
 func DecodeRenewReq(p []byte) (name int64, token uint64, ttlMs int64, err error) {
 	r := reader{p: p}
 	name, ok := r.i64()
@@ -366,12 +382,16 @@ func DecodeRenewBatchReq(p []byte, items []lease.RenewItem) (ttlMs int64, out []
 }
 
 // AppendBatchRespHeader opens a TRenewBatch/TReleaseBatch response.
+//
+//renamed:noalloc
 func AppendBatchRespHeader(dst []byte, count int) []byte {
 	return appendU32(dst, uint32(count))
 }
 
 // AppendRenewResult encodes one renew-batch response item. On failure
 // (code != CodeOK) the lease fields travel as zeros.
+//
+//renamed:noalloc
 func AppendRenewResult(dst []byte, code byte, name int64, token uint64, expiresMs int64) []byte {
 	dst = append(dst, code)
 	dst = appendI64(dst, name)
@@ -381,6 +401,8 @@ func AppendRenewResult(dst []byte, code byte, name int64, token uint64, expiresM
 
 // DecodeRenewBatchResp decodes a TRenewBatch response into out (reused
 // when capacity allows).
+//
+//renamed:noalloc
 func DecodeRenewBatchResp(p []byte, out []RenewResult) ([]RenewResult, error) {
 	r := reader{p: p}
 	count, ok := r.u32()
@@ -404,12 +426,16 @@ func DecodeRenewBatchResp(p []byte, out []RenewResult) ([]RenewResult, error) {
 // --- release ---
 
 // AppendReleaseReq encodes a TRelease request payload.
+//
+//renamed:noalloc
 func AppendReleaseReq(dst []byte, name int64, token uint64) []byte {
 	dst = appendI64(dst, name)
 	return appendU64(dst, token)
 }
 
 // DecodeReleaseReq decodes a TRelease request payload.
+//
+//renamed:noalloc
 func DecodeReleaseReq(p []byte) (name int64, token uint64, err error) {
 	r := reader{p: p}
 	name, ok := r.i64()
@@ -454,6 +480,8 @@ func DecodeReleaseBatchReq(p []byte, items []lease.ReleaseItem) ([]lease.Release
 
 // DecodeReleaseBatchResp decodes a TReleaseBatch response (one code
 // byte per item) into out.
+//
+//renamed:noalloc
 func DecodeReleaseBatchResp(p []byte, out []byte) ([]byte, error) {
 	r := reader{p: p}
 	count, ok := r.u32()
@@ -482,6 +510,8 @@ type Stats struct {
 }
 
 // AppendStatsResp encodes a TStats response payload.
+//
+//renamed:noalloc
 func AppendStatsResp(dst []byte, s Stats) []byte {
 	dst = appendI64(dst, s.Live)
 	dst = appendI64(dst, s.Acquired)
@@ -492,6 +522,8 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 }
 
 // DecodeStatsResp decodes a TStats response payload.
+//
+//renamed:noalloc
 func DecodeStatsResp(p []byte) (Stats, error) {
 	r := reader{p: p}
 	var s Stats
@@ -533,6 +565,9 @@ func DecodeErrorResp(p []byte) (code byte, msg string, err error) {
 func DecodePayload(h Header, p []byte) error {
 	if len(p) != int(h.Len) {
 		return ErrTruncated
+	}
+	if err := VerifyPayload(h, p); err != nil {
+		return err
 	}
 	var err error
 	switch h.Type {

@@ -13,12 +13,12 @@ import (
 
 func TestHeaderRoundTrip(t *testing.T) {
 	var buf [HeaderLen]byte
-	PutHeader(buf[:], TRenewBatch, 0xDEADBEEFCAFE, 1234)
+	PutHeader(buf[:], TRenewBatch, 0xDEADBEEFCAFE, 1234, 0xC0FFEE)
 	h, err := ParseHeader(buf[:])
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Header{Type: TRenewBatch, ID: 0xDEADBEEFCAFE, Len: 1234}
+	want := Header{Type: TRenewBatch, ID: 0xDEADBEEFCAFE, Len: 1234, CRC: 0xC0FFEE}
 	if h != want {
 		t.Fatalf("header = %+v, want %+v", h, want)
 	}
@@ -26,7 +26,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 
 func TestParseHeaderErrors(t *testing.T) {
 	good := make([]byte, HeaderLen)
-	PutHeader(good, TRenew, 1, 0)
+	PutHeader(good, TRenew, 1, 0, Checksum(nil))
 	cases := []struct {
 		name   string
 		mutate func([]byte) []byte
@@ -329,5 +329,31 @@ func BenchmarkDecodeRenewBatch(b *testing.B) {
 		_, scratch, _ = DecodeRenewBatchReq(p, scratch)
 	}); allocs != 0 {
 		b.Fatalf("decode renew batch allocates %v times per frame", allocs)
+	}
+}
+
+// TestChecksumRejectsCorruption: any payload bit flip fails the CRC
+// gate before type-specific decoding ever sees the bytes.
+func TestChecksumRejectsCorruption(t *testing.T) {
+	buf, start := BeginFrame(nil, TRenew, 42)
+	buf = AppendRenewReq(buf, 7, 0xABC, 30_000)
+	buf = EndFrame(buf, start)
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := buf[HeaderLen:]
+	if err := VerifyPayload(h, payload); err != nil {
+		t.Fatalf("clean payload = %v", err)
+	}
+	for i := range payload {
+		payload[i] ^= 0x40
+		if err := DecodePayload(h, payload); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at byte %d: DecodePayload = %v, want ErrChecksum", i, err)
+		}
+		payload[i] ^= 0x40
+	}
+	if err := DecodePayload(h, payload); err != nil {
+		t.Fatalf("restored payload = %v", err)
 	}
 }

@@ -76,7 +76,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			// A frame that decodes cleanly must re-encode headers that
 			// parse: sanity that accepted input is structurally valid.
 			var hdr [HeaderLen]byte
-			PutHeader(hdr[:], h.Type, h.ID, h.Len)
+			PutHeader(hdr[:], h.Type, h.ID, h.Len, h.CRC)
 			if _, err := ParseHeader(hdr[:]); err != nil {
 				t.Fatalf("accepted frame re-encodes to invalid header: %v", err)
 			}

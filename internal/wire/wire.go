@@ -148,6 +148,13 @@ func CodeFor(err error) string {
 	}
 }
 
+// ErrServer is the sentinel behind CodeInternal and any code this
+// client does not recognize (typically a newer server speaking a newer
+// taxonomy). It keeps the default arm of ErrFor inside the typed
+// taxonomy: callers can errors.Is(err, wire.ErrServer) instead of
+// string-matching the rendered message.
+var ErrServer = errors.New("renamed: server error")
+
 // ErrFor is CodeFor's client-side inverse: it rebuilds a typed error a
 // session can errors.Is against the lease sentinels, keeping the
 // server's rendered message for logs.
@@ -167,7 +174,7 @@ func ErrFor(code, msg string) error {
 	case CodeCancelled:
 		sentinel = renaming.ErrCancelled
 	default:
-		return fmt.Errorf("renamed: %s", msg)
+		sentinel = ErrServer
 	}
 	if msg == "" || msg == sentinel.Error() {
 		return sentinel

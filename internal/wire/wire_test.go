@@ -43,7 +43,7 @@ func TestCodeRoundTrip(t *testing.T) {
 	if got := CodeFor(odd); got != CodeInternal {
 		t.Fatalf("CodeFor(odd) = %q, want %q", got, CodeInternal)
 	}
-	if got := ErrFor(CodeInternal, "namer exploded"); got == nil || got.Error() != "renamed: namer exploded" {
+	if got := ErrFor(CodeInternal, "namer exploded"); !errors.Is(got, ErrServer) || got.Error() != "renamed: server error (server: namer exploded)" {
 		t.Fatalf("ErrFor(internal) = %v", got)
 	}
 }

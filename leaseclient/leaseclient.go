@@ -523,15 +523,20 @@ func (s *Session) heartbeat() {
 		items = items[len(chunk):]
 
 		s.heartbeats.Add(1)
-		start := time.Now()
+		// The injected clock, not time.Now: a skewed session must see its
+		// own heartbeat latency through the same clock that runs its
+		// renew timers, or the chaos clock-skew scenarios would mix
+		// timebases inside one session.
+		start := s.cfg.Now()
 		results, err := s.tr.RenewBatch(context.Background(),
 			&wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk})
-		s.hbLat.Observe(time.Since(start))
+		elapsed := s.cfg.Now().Sub(start)
+		s.hbLat.Observe(elapsed)
 		if err != nil {
 			s.transportErrs.Add(1)
 		}
 		if s.cfg.OnHeartbeat != nil {
-			s.cfg.OnHeartbeat(len(chunk), time.Since(start), err)
+			s.cfg.OnHeartbeat(len(chunk), elapsed, err)
 		}
 		if err != nil {
 			// Transport-level failure: every lease in the chunk is still

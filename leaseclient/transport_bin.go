@@ -224,6 +224,7 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 	// call unbounded — only the fault-injection harness asks for that.
 	var deadline time.Time
 	if t.timeout > 0 {
+		//lint:wallclock net.Conn deadlines are absolute wall-clock instants by contract; the injected session clock must not skew socket timeouts
 		deadline = time.Now().Add(t.timeout)
 	}
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
@@ -231,6 +232,7 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 	}
 	t.conn.SetDeadline(deadline)
 
+	//lint:wallclock frame IDs need uniqueness across restarts, not reproducibility; a seeded stream would collide after a crash-restart
 	id := rand.Uint64()
 	var start int
 	t.buf, start = binproto.BeginFrame(t.buf[:0], typ, id)
@@ -262,6 +264,11 @@ func (t *binTransport) roundTrip(ctx context.Context, typ binproto.Type, encode 
 	if _, err := io.ReadFull(t.br, t.payload); err != nil {
 		t.dropConn()
 		return nil, fmt.Errorf("leaseclient: read %s: %w", t.addr, err)
+	}
+	if err := binproto.VerifyPayload(h, t.payload); err != nil {
+		// Damaged response bytes: never decode them — drop the stream
+		// and let the session retry on a fresh connection.
+		return nil, t.corrupt(opName(typ), err)
 	}
 	if h.Type == binproto.TError {
 		code, msg, derr := binproto.DecodeErrorResp(t.payload)
