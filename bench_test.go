@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	renaming "repro"
 	"repro/internal/adversary"
@@ -347,6 +348,69 @@ func BenchmarkF6MoirAnderson(b *testing.B) {
 				maxName += worst.Load()
 			}
 			b.ReportMetric(float64(maxName)/float64(b.N)/float64(k), "maxname/k")
+		})
+	}
+}
+
+// BenchmarkF12ResizeChurn measures the acquire+release cost on a
+// resizable LevelArray while a background driver retargets its capacity
+// (grow and shrink, including shrink-to-a-quarter) every 200µs, against
+// the identical namer left at steady capacity. The delta is the price
+// acquirers pay for geometry snapshots plus the resizes' own CPU; the
+// steady row also bounds what WithResizable costs when nobody resizes.
+func BenchmarkF12ResizeChurn(b *testing.B) {
+	const n = 1 << 12
+	for _, mode := range []struct {
+		name  string
+		churn bool
+	}{
+		{"steady", false},
+		{"resizing", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			nm, err := renaming.NewLevelArray(n, renaming.WithResizable())
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var resizes atomic.Int64
+			if mode.churn {
+				go func() {
+					targets := []int{3 * n, n / 2, 2 * n, n / 4, n}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := nm.Resize(targets[i%len(targets)]); err != nil {
+							b.Error(err)
+							return
+						}
+						resizes.Add(1)
+						time.Sleep(200 * time.Microsecond)
+					}
+				}()
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					u, err := nm.GetName()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := nm.Release(u); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			if mode.churn {
+				b.ReportMetric(float64(resizes.Load()), "resizes")
+			}
 		})
 	}
 }

@@ -21,7 +21,7 @@ import (
 // server, listener) without going through flag parsing.
 func newGracefulStack(t *testing.T, handler http.Handler) (*http.Server, net.Listener, *lease.Manager) {
 	t.Helper()
-	nm, err := buildNamer("levelarray", 64, 1)
+	nm, err := buildNamer("levelarray", 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

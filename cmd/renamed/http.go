@@ -54,7 +54,7 @@ type server struct {
 	// op, shared between /metrics (cumulative buckets) and /debug/vars
 	// (µs quantile summaries).
 	lat struct {
-		acquire, acquireBatch, renew, renewBatch, release, releaseBatch *telemetry.Histogram
+		acquire, acquireBatch, renew, renewBatch, release, releaseBatch, resize *telemetry.Histogram
 	}
 
 	// slowThreshold gates the structured slow-operation log line; 0
@@ -82,6 +82,7 @@ func newServer(mgr *lease.Manager, store *persist.Store) *server {
 	s.lat.renewBatch = s.mountTimed("renew_batch", s.handleRenewBatch)
 	s.lat.release = s.mountTimed("release", s.handleRelease)
 	s.lat.releaseBatch = s.mountTimed("release_batch", s.handleReleaseBatch)
+	s.lat.resize = s.mountTimed("resize", s.handleResize)
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -188,6 +189,7 @@ func (s *server) varsHandler() http.Handler {
 			"renew_batch":   summarize(s.lat.renewBatch),
 			"release":       summarize(s.lat.release),
 			"release_batch": summarize(s.lat.releaseBatch),
+			"resize":        summarize(s.lat.resize),
 		}
 	}))
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -315,6 +317,21 @@ func (s *server) handleReleaseBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
+// handleResize retargets the elastic namespace online: the namer's
+// capacity and the lease manager's live cap move together (see
+// service.Binding.Resize for the ordering guarantees). The response
+// follows the batch per-item contract — 200 with per-component verdicts
+// even when a component refused, because the operator must learn
+// exactly which half moved; only a malformed body gets a non-2xx.
+func (s *server) handleResize(w http.ResponseWriter, r *http.Request) {
+	var req wire.ResizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	st := s.bind.Resize(req.Capacity)
+	s.writeJSON(w, http.StatusOK, st.Wire())
+}
+
 func (s *server) handleLeases(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, wire.Leases{Leases: s.core.Leases()})
 }
@@ -378,6 +395,8 @@ func (s *server) logFinalSnapshot(out io.Writer) {
 		"expired", lm.Expired,
 		"rejected", lm.Rejected,
 		"live", lm.Live,
+		"max_live", lm.MaxLive,
+		"resizes", lm.Resizes,
 		"renew_p99_us", summarize(s.lat.renewBatch).P99Us,
 	}
 	if s.store != nil {

@@ -50,6 +50,9 @@
 //	POST /v1/release        {"name":17,"token":42}
 //	POST /v1/release_batch  {"items":[{"name":17,"token":42},...]}
 //	                        -> {"results":[{},{"error":"...","code":"unknown_name"},...]}
+//	POST /v1/resize         {"capacity":8192}   (elastic namers; see -resizable)
+//	                        -> {"capacity":8192,"max_live":8192,"epoch":3,"draining":false,
+//	                            "results":[{"component":"namer"},{"component":"lease"}]}
 //	GET  /v1/leases         -> {"leases":[...]}
 //	GET  /healthz           -> ok
 //	GET  /debug/vars        -> expvar counters (renamed_* metrics)
@@ -106,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		listenBin = fs.String("listen-bin", "", "additional listen address for the binary protocol (bin:// targets); empty disables (server mode)")
 		capacity  = fs.Int("capacity", 4096, "maximum concurrently leased names (hard cap, enforced; also sizes the namer)")
 		algo      = fs.String("algo", "levelarray", "namer algorithm: levelarray, rebatching, adaptive, fastadaptive, uniform")
+		resizable = fs.Bool("resizable", false, "build an elastic namer (levelarray only): POST /v1/resize and the binary TResize op retarget capacity online (server mode)")
 		namerDSN  = fs.String("namer", "", "namer DSN, e.g. 'levelarray?n=4096&probes=3' or 'rebatching?n=1024&eps=0.5&t0=6'; overrides -algo/-capacity/-seed (see renaming.Open)")
 		ttl       = fs.Duration("ttl", 30*time.Second, "default lease TTL")
 		sweep     = fs.Duration("sweep", 0, "reclamation sweep interval (0 = TTL/4)")
@@ -171,7 +175,7 @@ All drivers accept seed=<uint64>, padded=<bool>, counting=<bool>.
 			capacitySet = true
 		}
 	})
-	nm, maxLive, desc, err := buildServerNamer(*namerDSN, *algo, *capacity, capacitySet, *seed)
+	nm, maxLive, desc, err := buildServerNamer(*namerDSN, *algo, *capacity, capacitySet, *seed, *resizable)
 	if err != nil {
 		return err
 	}
@@ -372,23 +376,31 @@ func serveGraceful(ctx context.Context, srv *http.Server, ln net.Listener, mgr *
 // buildNamer constructs the requested namer through the renaming driver
 // registry; every registered algorithm is selectable so operators can
 // compare them in situ.
-func buildNamer(algo string, capacity int, seed uint64) (renaming.Namer, error) {
+func buildNamer(algo string, capacity int, seed uint64, resizable bool) (renaming.Namer, error) {
 	dsn := fmt.Sprintf("%s?n=%d", algo, capacity)
 	if seed != 0 {
 		dsn += fmt.Sprintf("&seed=%d", seed)
 	}
+	if resizable {
+		// Only the levelarray driver reads the key; any other -algo fails
+		// loudly through the registry's unused-parameter check.
+		dsn += "&resizable"
+	}
 	return renaming.Open(dsn)
 }
 
-// buildServerNamer resolves the -namer/-algo/-capacity/-seed flags into a
-// namer plus the MaxLive cap the lease manager should enforce. A DSN takes
-// precedence; its capacity cap comes from an explicit -capacity flag, else
-// from the namer's own analyzed capacity (LongLivedNamer), else 0
-// (uncapped — the namespace is the only limit).
-func buildServerNamer(dsn, algo string, capacity int, capacitySet bool, seed uint64) (nm renaming.Namer, maxLive int, desc string, err error) {
+// buildServerNamer resolves the -namer/-algo/-capacity/-seed/-resizable
+// flags into a namer plus the MaxLive cap the lease manager should
+// enforce. A DSN takes precedence; its capacity cap comes from an
+// explicit -capacity flag, else from the namer's own analyzed capacity
+// (LongLivedNamer), else 0 (uncapped — the namespace is the only limit).
+func buildServerNamer(dsn, algo string, capacity int, capacitySet bool, seed uint64, resizable bool) (nm renaming.Namer, maxLive int, desc string, err error) {
 	if dsn == "" {
-		nm, err = buildNamer(algo, capacity, seed)
+		nm, err = buildNamer(algo, capacity, seed, resizable)
 		return nm, capacity, algo, err
+	}
+	if resizable {
+		return nil, 0, "", fmt.Errorf("-resizable does not combine with -namer; put resizable in the DSN (e.g. %q)", dsn+"&resizable")
 	}
 	nm, err = renaming.Open(dsn)
 	if err != nil {

@@ -20,7 +20,7 @@ import (
 // manager, HTTP handler) on an httptest listener.
 func newTestServer(t *testing.T, capacity int, cfg lease.Config) *httptest.Server {
 	t.Helper()
-	nm, err := buildNamer("levelarray", capacity, 1)
+	nm, err := buildNamer("levelarray", capacity, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestLoadTargetUnreachable(t *testing.T) {
 
 func TestBuildNamer(t *testing.T) {
 	for _, algo := range []string{"levelarray", "rebatching", "adaptive", "fastadaptive", "uniform"} {
-		nm, err := buildNamer(algo, 16, 0)
+		nm, err := buildNamer(algo, 16, 0, false)
 		if err != nil {
 			t.Errorf("buildNamer(%q): %v", algo, err)
 			continue
@@ -298,7 +298,7 @@ func TestBuildNamer(t *testing.T) {
 			t.Errorf("buildNamer(%q) namespace %d < capacity", algo, nm.Namespace())
 		}
 	}
-	if _, err := buildNamer("nope", 16, 0); err == nil {
+	if _, err := buildNamer("nope", 16, 0, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -386,7 +386,7 @@ func TestLoadGeneratorBatchMode(t *testing.T) {
 // derivation rules.
 func TestBuildServerNamer(t *testing.T) {
 	// DSN over a long-lived namer: MaxLive defaults to its capacity.
-	nm, maxLive, desc, err := buildServerNamer("levelarray?n=128", "ignored", 4096, false, 0)
+	nm, maxLive, desc, err := buildServerNamer("levelarray?n=128", "ignored", 4096, false, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestBuildServerNamer(t *testing.T) {
 	}
 
 	// Explicit -capacity wins over the namer's own capacity.
-	_, maxLive, _, err = buildServerNamer("levelarray?n=128", "ignored", 32, true, 0)
+	_, maxLive, _, err = buildServerNamer("levelarray?n=128", "ignored", 32, true, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestBuildServerNamer(t *testing.T) {
 	}
 
 	// One-shot namers have no analyzed capacity: uncapped unless -capacity.
-	_, maxLive, _, err = buildServerNamer("rebatching?n=64&t0=6", "ignored", 4096, false, 0)
+	_, maxLive, _, err = buildServerNamer("rebatching?n=64&t0=6", "ignored", 4096, false, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +416,7 @@ func TestBuildServerNamer(t *testing.T) {
 	}
 
 	// A bad DSN fails loudly.
-	if _, _, _, err := buildServerNamer("levelarray?n=128&eps=2", "ignored", 0, false, 0); err == nil {
+	if _, _, _, err := buildServerNamer("levelarray?n=128&eps=2", "ignored", 0, false, 0, false); err == nil {
 		t.Fatal("DSN with inapplicable eps accepted")
 	}
 }

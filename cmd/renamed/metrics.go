@@ -102,6 +102,18 @@ func newServerMetrics(s *server) *serverMetrics {
 	reg.GaugeFunc("renamed_lease_reserved", "Capacity slots taken: held leases plus in-flight acquire reservations.",
 		func() float64 { return float64(leaseStats.get().Reserved) })
 
+	// Elastic-namespace series: instantaneous values, not snapshots — a
+	// dashboard watching a resize must see the step the moment it lands,
+	// not up to a second late.
+	leaseCounter("renamed_resizes_total", "Online capacity retargets applied to the lease cap.",
+		func(m lease.Metrics) int64 { return m.Resizes })
+	reg.GaugeFunc("renamed_namer_capacity", "Namer capacity: the concurrency bound the probe guarantees hold for.",
+		s.namerCapacity)
+	reg.GaugeFunc("renamed_lease_max_live", "Live-lease cap currently enforced (0 = uncapped).",
+		s.leaseMaxLive)
+	reg.GaugeFunc("renamed_namer_draining", "1 while a shrink is waiting on held names above the new bound, else 0.",
+		s.namerDraining)
+
 	if s.store != nil {
 		persistStats := &cachedStats[persist.Stats]{fetch: s.store.Stats, ttl: time.Second}
 		persistCounter := func(name, help string, get func(persist.Stats) int64) {
@@ -134,6 +146,33 @@ func newServerMetrics(s *server) *serverMetrics {
 			})
 	}
 	return m
+}
+
+// namerCapacity reads the namer's instantaneous capacity: one atomic
+// geometry load on the elastic path, cheap enough to skip the cached
+// snapshot and report resize steps the moment they publish.
+//
+//renamed:noalloc
+func (s *server) namerCapacity() float64 {
+	return float64(s.core.Capacity())
+}
+
+// leaseMaxLive reads the live-lease cap: one atomic load.
+//
+//renamed:noalloc
+func (s *server) leaseMaxLive() float64 {
+	return float64(s.mgr.MaxLive())
+}
+
+// namerDraining reads the shrink drain state. Unlike the two gauges
+// above this walks the drained tail (and builds the held-slot probe),
+// so it is deliberately NOT annotated noalloc.
+func (s *server) namerDraining() float64 {
+	_, draining, _ := s.core.NamespaceInfo()
+	if draining {
+		return 1
+	}
+	return 0
 }
 
 // histSummary is the JSON shape latencies take in /debug/vars — kept

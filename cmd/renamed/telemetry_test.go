@@ -60,7 +60,7 @@ func TestMetricsEndpointGoldenFamilies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nm, err := buildNamer("levelarray", 64, 1)
+	nm, err := buildNamer("levelarray", 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func (rt *ridRecorder) RoundTrip(req *http.Request) (*http.Response, error) {
 // carries the SAME id — so one slow heartbeat can be joined across the
 // client and server logs.
 func TestRequestIDRoundTrip(t *testing.T) {
-	nm, err := buildNamer("levelarray", 64, 1)
+	nm, err := buildNamer("levelarray", 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,8 +20,8 @@
 // executions.
 //
 // The composed, named scenarios (lossy, partition, crash-storm, skew,
-// dup-reorder, kitchen-sink) live in scenario.go and are driven by
-// cmd/chaos.
+// dup-reorder, resize-churn, kitchen-sink) live in scenario.go and are
+// driven by cmd/chaos.
 package chaos
 
 import (

@@ -31,6 +31,20 @@ import (
 //     live (expiry within TTL of now) or closed. A claim whose expiry
 //     is long past with no loss report means the session stopped
 //     heartbeating AND stopped noticing — the unbounded-call failure.
+//  6. Capacity bound — when the run retargets the namespace online
+//     (CapacityChanged), no acquire may succeed above the instantaneous
+//     capacity: a grant admitted while as many unexpired beliefs as the
+//     capacity were already open means the cap was not enforced.
+//     Holders above a shrink's bound legitimately REMAIN held while
+//     they drain out — only fresh grants are charged. Every belief
+//     interval is a subset of the server's own hold interval (belief
+//     starts at the grant ack and ends at release-send, loss, close, or
+//     the client-known — hence never-later — expiry), so the open count
+//     can only undercount the server's live table and the check never
+//     fires falsely. Judged with a ±capEps slack window around each
+//     grant so an acquire in flight across a retarget is charged
+//     against whichever capacity was live at any instant the grant
+//     could have been issued.
 //
 // Belief intervals are built from driver hooks (Acquired/ReleaseSent/
 // Closed), the session's OnLost callback, and a periodic Observe
@@ -48,15 +62,29 @@ type Checker struct {
 	// from different goroutines.
 	eps time.Duration
 
+	// capEps is the slack around a grant instant when judging it against
+	// the capacity timeline (invariant 6): it must cover the in-flight
+	// RTT between a resize response landing and a grant issued under the
+	// previous geometry still being delivered through a delaying proxy.
+	capEps time.Duration
+
 	mu         sync.Mutex
 	claims     map[int][]*claim // name -> claims in grant order
 	open       map[claimKey]*claim
 	faults     []faultWindow
+	caps       []capRecord
 	violations []Violation
 	maxToken   uint64
 	lost       int
 	acquired   int
 	released   int
+}
+
+// capRecord is one step of the namespace-capacity timeline: capacity is
+// active from `from` until the next record's instant.
+type capRecord struct {
+	from     time.Time
+	capacity int
 }
 
 type claimKey struct {
@@ -105,9 +133,42 @@ func NewChecker(ttl time.Duration) *Checker {
 	return &Checker{
 		ttl:    ttl,
 		eps:    50 * time.Millisecond,
+		capEps: 500 * time.Millisecond,
 		claims: map[int][]*claim{},
 		open:   map[claimKey]*claim{},
 	}
+}
+
+// CapacityChanged records an applied capacity retarget — or, before the
+// first grant, the initial capacity — at the instant its outcome was
+// observed. Once any record exists, every subsequent grant is judged
+// against the timeline (invariant 6).
+func (c *Checker) CapacityChanged(at time.Time, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.caps = append(c.caps, capRecord{from: at, capacity: capacity})
+}
+
+// maxCapacityNear is the largest capacity active at any instant within
+// ±capEps of t. The slack absorbs delivery skew: a grant issued just
+// before a shrink's response landed is judged against the pre-shrink
+// capacity instead of being falsely flagged. Caller holds mu.
+func (c *Checker) maxCapacityNear(t time.Time) int {
+	lo, hi := t.Add(-c.capEps), t.Add(c.capEps)
+	max := 0
+	for i, rec := range c.caps {
+		end := hi // the last record runs to the end of time
+		if i+1 < len(c.caps) {
+			end = c.caps[i+1].from
+		}
+		if rec.from.After(hi) || end.Before(lo) {
+			continue
+		}
+		if rec.capacity > max {
+			max = rec.capacity
+		}
+	}
+	return max
 }
 
 // Fault registers a window during which faults were active for some or
@@ -150,6 +211,22 @@ func (cl *Client) Acquired(leases ...leaseclient.Lease) {
 		c.acquired++
 		if l.Token > c.maxToken {
 			c.maxToken = l.Token
+		}
+		// Invariant 6: the grant must have fit under some capacity that
+		// was live within the slack window of the grant instant — counting
+		// every belief still open and unexpired across all clients.
+		if len(c.caps) > 0 {
+			held := 0
+			for _, cm := range c.open {
+				if cm.expiry.After(now) {
+					held++
+				}
+			}
+			if max := c.maxCapacityNear(now); held >= max {
+				c.violate("capacity-bound",
+					"client %d granted name %d while %d leases were already held, but the capacity never exceeded %d within ±%v of the grant",
+					cl.id, l.Name, held, max, c.capEps)
+			}
 		}
 		if prev := c.claims[l.Name]; len(prev) > 0 {
 			if last := prev[len(prev)-1]; l.Token <= last.token {

@@ -150,6 +150,71 @@ func TestCheckerWedgedLease(t *testing.T) {
 	}
 }
 
+// TestCheckerCapacityBound: with a capacity timeline registered, a
+// grant admitted while as many beliefs as the capacity were already
+// open is a violation; grants that fit — or that land within the slack
+// window of a shrink, where the old capacity still excuses them — are
+// not.
+func TestCheckerCapacityBound(t *testing.T) {
+	c := NewChecker(time.Second)
+	c.CapacityChanged(time.Now().Add(-10*time.Second), 2)
+	a := c.Client(0)
+	a.Acquired(heldLease(1, 10, time.Second)) // 0 held: fits
+	a.Acquired(heldLease(2, 11, time.Second)) // 1 held: fits, cap reached
+	a.Acquired(heldLease(3, 12, time.Second)) // 2 held: over the cap
+	for n := 1; n <= 3; n++ {
+		a.ReleaseSent(n, uint64(9+n))
+	}
+	vs := c.Finish(time.Now(), nil)
+	if violationsByKind(vs)["capacity-bound"] != 1 {
+		t.Fatalf("want 1 capacity-bound violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "name 3") {
+		t.Fatalf("violation detail %q does not name the grant", vs[0].Detail)
+	}
+
+	// A grant in flight across a shrink is judged against the pre-shrink
+	// capacity: the shrink landed within the slack window.
+	c2 := NewChecker(time.Second)
+	c2.CapacityChanged(time.Now().Add(-10*time.Second), 8)
+	b := c2.Client(0)
+	for n := 1; n <= 4; n++ {
+		b.Acquired(heldLease(n, uint64(19+n), time.Second))
+	}
+	c2.CapacityChanged(time.Now().Add(-50*time.Millisecond), 2)
+	b.Acquired(heldLease(5, 24, time.Second)) // 4 held > cap 2, but 8 was live within ±capEps
+	for n := 1; n <= 5; n++ {
+		b.ReleaseSent(n, uint64(19+n))
+	}
+	if vs := c2.Finish(time.Now(), nil); len(vs) != 0 {
+		t.Fatalf("in-flight grant across a shrink flagged: %v", vs)
+	}
+
+	// The same grant long after the shrink has no excuse — but an
+	// expired belief no longer counts against the cap.
+	c3 := NewChecker(time.Second)
+	c3.CapacityChanged(time.Now().Add(-10*time.Second), 2)
+	d := c3.Client(0)
+	d.Acquired(heldLease(1, 30, time.Second))
+	d.Acquired(heldLease(2, 31, -time.Second)) // already expired: not held
+	d.Acquired(heldLease(3, 32, time.Second))  // 1 unexpired held: fits
+	d.Acquired(heldLease(4, 33, time.Second))  // 2 unexpired held: over
+	if vs := violationsByKind(c3.Finish(time.Now(), nil)); vs["capacity-bound"] != 1 {
+		t.Fatalf("want 1 capacity-bound violation, got %v", vs)
+	}
+
+	// Without a timeline the invariant never fires.
+	c4 := NewChecker(time.Second)
+	e := c4.Client(0)
+	for n := 1; n <= 16; n++ {
+		e.Acquired(heldLease(n, uint64(39+n), time.Second))
+		e.ReleaseSent(n, uint64(39+n))
+	}
+	if vs := c4.Finish(time.Now(), nil); len(vs) != 0 {
+		t.Fatalf("grants with no capacity timeline flagged: %v", vs)
+	}
+}
+
 // TestCheckerReadoptionReopens: a release whose round trip failed gets
 // re-adopted by the session; the next Observe must reopen the belief
 // rather than flag it.

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/wire"
 	"repro/lease/persist"
 	"repro/leaseclient"
 )
@@ -46,6 +48,28 @@ type Scenario struct {
 	// Churn is the per-tick probability (per client, ~4 ticks/sec) of
 	// releasing one lease and acquiring a fresh one.
 	Churn float64
+	// Resize, when set, plays an operator retargeting the namespace
+	// online while sessions churn against it: the server starts at
+	// Resize.Base (-capacity, -resizable), cycles through Resize.Steps
+	// during the fault phase, and returns to Base when the heal phase
+	// begins. Every applied retarget feeds the checker's capacity
+	// timeline (invariant 6).
+	Resize *ResizePlan
+}
+
+// ResizePlan shapes the resize adversary.
+type ResizePlan struct {
+	// Base is the capacity the server boots with and returns to for the
+	// heal phase.
+	Base int
+	// Steps are the target capacities cycled through, in order, during
+	// the fault phase. Steps below the standing lease population force
+	// shrink-below-live: holders drain out while fresh acquires bounce
+	// off the cap.
+	Steps []int
+	// Every is the nominal interval between retargets; each wait adds
+	// seeded jitter of up to a quarter interval.
+	Every time.Duration
 }
 
 // Options configures one run of a scenario.
@@ -87,6 +111,7 @@ type Report struct {
 	// the evidence that injected corruption was DETECTED, not absorbed.
 	TransportErrors int64           `json:"transport_errors"`
 	Crashes         int64           `json:"crashes"`
+	Resizes         int64           `json:"resizes,omitempty"`
 	Violations      []Violation     `json:"violations"`
 	AuditLive       int             `json:"audit_live_leases"`
 	AuditToken      uint64          `json:"audit_max_token"`
@@ -113,6 +138,9 @@ func (r *Report) Print(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  calls: %d dup renews, %d dup releases, %d deferred; crashes: %d\n",
 		r.CallFaults.DupRenews, r.CallFaults.DupReleases, r.CallFaults.Deferred, r.Crashes)
+	if r.Resizes > 0 {
+		fmt.Fprintf(w, "  resizes: %d capacity retargets applied\n", r.Resizes)
+	}
 	fmt.Fprintf(w, "  audit: %d live leases, watermark %d, %d torn bytes\n",
 		r.AuditLive, r.AuditToken, r.AuditTorn)
 	if len(r.Violations) == 0 {
@@ -178,6 +206,14 @@ func Scenarios() map[string]Scenario {
 			Proxy:     Faults{Delay: 0.3, DelayMax: 30 * time.Millisecond, Reorder: 0.05},
 			Transport: TransportFaults{DupRenew: 0.2, DupRelease: 0.2, Defer: 0.2, DeferMax: 40 * time.Millisecond},
 			Churn:     0.4,
+		},
+		{
+			Name:        "resize-churn",
+			Description: "online grow/shrink retargets racing lease churn over a delaying wire — no grant may exceed the instantaneous capacity, and every shrink must eventually quiesce",
+			Clients:     5, LeasesEach: 8, TTL: 3 * time.Second,
+			Proxy:  Faults{Delay: 0.2, DelayMax: 25 * time.Millisecond},
+			Churn:  0.5,
+			Resize: &ResizePlan{Base: 64, Steps: []int{192, 48, 256, 32, 128}, Every: 2 * time.Second},
 		},
 		{
 			Name:        "kitchen-sink",
@@ -257,7 +293,7 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	srv, err := StartServer(ServerConfig{
+	srvCfg := ServerConfig{
 		Binary:   opts.Binary,
 		DataDir:  dataDir,
 		HTTPAddr: httpAddr,
@@ -265,7 +301,15 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		TTL:      sc.TTL,
 		Fsync:    "always",
 		Stdout:   opts.Log,
-	})
+	}
+	if sc.Resize != nil {
+		if sc.Resize.Base <= 0 || len(sc.Resize.Steps) == 0 || sc.Resize.Every <= 0 {
+			return nil, fmt.Errorf("chaos: degenerate resize plan %+v", *sc.Resize)
+		}
+		srvCfg.Capacity = sc.Resize.Base
+		srvCfg.Resizable = true
+	}
+	srv, err := StartServer(srvCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +351,11 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		httpAddr, binAddr, proxy.Addr(), upstream, len(proxyFaults.Partitions))
 
 	checker := NewChecker(sc.TTL)
+	if sc.Resize != nil {
+		// Seed the capacity timeline before any grant can be judged
+		// against it.
+		checker.CapacityChanged(start, sc.Resize.Base)
+	}
 	// Probabilistic faults cover the whole fault phase; windows and
 	// crashes register themselves as they happen.
 	probabilistic := sc.Proxy.Drop > 0 || sc.Proxy.Delay > 0 || sc.Proxy.Reorder > 0 ||
@@ -463,6 +512,46 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		}(i, cr)
 	}
 
+	// Resize driver: retargets the namespace through the fault phase on
+	// a seeded cadence, then returns it to base for the heal phase. The
+	// admin calls go DIRECTLY to the server, not through the proxy —
+	// resize is operator traffic, not the wire under test, and judging
+	// invariant 6 against a capacity report the proxy delayed or dropped
+	// would test the harness, not the server.
+	var resizesApplied atomic.Int64
+	if sc.Resize != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rng(opts.Seed, "resize")
+			step := 0
+			for {
+				wait := sc.Resize.Every + durBetween(r, 0, sc.Resize.Every/4)
+				select {
+				case <-faultCtx.Done():
+					// Heal: the recovery phase runs against the base
+					// geometry, with whatever drain the last shrink left.
+					if st, err := postResize(httpAddr, sc.Resize.Base); err == nil {
+						checker.CapacityChanged(time.Now(), st.Capacity)
+						resizesApplied.Add(1)
+					}
+					return
+				case <-time.After(wait):
+				}
+				target := sc.Resize.Steps[step%len(sc.Resize.Steps)]
+				step++
+				st, err := postResize(httpAddr, target)
+				if err != nil {
+					logf("resize to %d failed: %v", target, err)
+					continue
+				}
+				checker.CapacityChanged(time.Now(), st.Capacity)
+				resizesApplied.Add(1)
+				logf("resized to %d (epoch %d, draining %v)", st.Capacity, st.Epoch, st.Draining)
+			}
+		}()
+	}
+
 	// Sampler: refresh belief expiries from every session.
 	samplerDone := make(chan struct{})
 	wg.Add(1)
@@ -511,6 +600,34 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		cr.sess.Close()
 	}
 
+	// Shrink-quiesce (resize runs only): with every session closed and
+	// its releases landed, any name still draining above the base bound
+	// can only be an expired straggler — the sweeper must reclaim it
+	// within a couple of TTLs, after which the drain state clears for
+	// good. A drain that never clears means the shrink wedged. The probe
+	// is an idempotent same-capacity resize: its response reports the
+	// authoritative drain state.
+	var quiesce *Violation
+	if sc.Resize != nil {
+		deadline := time.Now().Add(2*sc.TTL + 2*time.Second)
+		for {
+			st, err := postResize(httpAddr, sc.Resize.Base)
+			if err == nil && !st.Draining {
+				break
+			}
+			if time.Now().After(deadline) {
+				detail := "shrink never quiesced: drain state still set after every session released and expiries passed"
+				if err != nil {
+					detail = fmt.Sprintf("shrink-quiesce probe failed: %v", err)
+				}
+				quiesce = &Violation{Invariant: "shrink-quiesces", Detail: detail, Time: time.Now()}
+				logf("shrink-quiesce: %s", detail)
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
 	// Server metrics snapshot, then the graceful stop and the read-only
 	// audit of what the disk says happened.
 	serverVars := scrapeVars(httpAddr)
@@ -525,6 +642,9 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	}
 
 	violations := checker.Finish(end, audit)
+	if quiesce != nil {
+		violations = append(violations, *quiesce)
+	}
 
 	// Corruption-detection expectation: the CRC gate must convert every
 	// damaged chunk into an observable error. If the proxy flipped bytes
@@ -556,6 +676,7 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		Checker:         checker.Stats(),
 		Proxy:           proxy.Stats(),
 		Crashes:         crashes,
+		Resizes:         resizesApplied.Load(),
 		Violations:      violations,
 		AuditLive:       len(audit.Leases),
 		AuditToken:      audit.MaxToken,
@@ -571,6 +692,37 @@ func Run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		rep.CallFaults.Deferred += st.Deferred
 	}
 	return rep, nil
+}
+
+// postResize drives one capacity retarget through the server's admin
+// endpoint. The endpoint answers 200 with per-component verdicts even
+// when a component refused (the batch per-item contract); a verdict
+// failure is surfaced as an error here because the chaos driver only
+// ever asks for retargets the elastic server must accept.
+func postResize(httpAddr string, n int) (wire.ResizeResponse, error) {
+	var out wire.ResizeResponse
+	body, err := json.Marshal(wire.ResizeRequest{Capacity: n})
+	if err != nil {
+		return out, err
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Post("http://"+httpAddr+"/v1/resize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("resize to %d: HTTP %d", n, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	for _, r := range out.Results {
+		if r.Code != "" {
+			return out, fmt.Errorf("resize to %d: %s refused: %s (%s)", n, r.Component, r.Error, r.Code)
+		}
+	}
+	return out, nil
 }
 
 // scrapeVars fetches the server's /debug/vars directly (not through the

@@ -92,11 +92,46 @@ func TestScenarioLossySmoke(t *testing.T) {
 	}
 }
 
-// TestScenarioRegistry pins the registry: the six named adversaries (and
+// TestScenarioResizeChurnSmoke drives a miniature elastic run: the
+// namespace grows and shrinks (including below the live population)
+// while sessions churn, and both resize invariants — capacity-bound
+// grants and shrink quiescence — must come out clean.
+func TestScenarioResizeChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real server process")
+	}
+	sc := Scenario{
+		Name:        "resize-churn-smoke",
+		Description: "miniature grow/shrink run",
+		Clients:     2, LeasesEach: 4, TTL: time.Second,
+		Churn:  0.5,
+		Resize: &ResizePlan{Base: 16, Steps: []int{48, 8, 32}, Every: 500 * time.Millisecond},
+	}
+	rep, err := Run(context.Background(), sc, Options{
+		Seed:     3,
+		Duration: 5 * time.Second,
+		Binary:   buildRenamed(t),
+		WorkDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("resize run reported violations: %+v", rep.Violations)
+	}
+	if rep.Resizes < 3 {
+		t.Fatalf("only %d resizes applied; the driver never got going", rep.Resizes)
+	}
+	if rep.Checker.Acquired < 8 {
+		t.Fatalf("only %d leases acquired; sessions never got going", rep.Checker.Acquired)
+	}
+}
+
+// TestScenarioRegistry pins the registry: the named adversaries (and
 // the healthy baseline) exist and are self-consistent.
 func TestScenarioRegistry(t *testing.T) {
 	m := Scenarios()
-	for _, name := range []string{"healthy", "lossy", "partition", "crash-storm", "skew", "dup-reorder", "kitchen-sink"} {
+	for _, name := range []string{"healthy", "lossy", "partition", "crash-storm", "skew", "dup-reorder", "resize-churn", "kitchen-sink"} {
 		sc, ok := m[name]
 		if !ok {
 			t.Fatalf("scenario %q missing from registry", name)

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPropagation pins the request-path cancellation contract: the
+// packages that serve requests (internal/service), run the lease engine
+// (lease), and drive it from the client side (leaseclient) thread one
+// context.Context from the caller down to every blocking step. A
+// context.Background() (or TODO()) minted mid-path severs that thread —
+// the client disconnects, the server keeps probing; the caller times
+// out, the round trip keeps running — and the leak is invisible until a
+// chaos run wedges.
+//
+// Flagged in scope:
+//
+//   - context.Background() / context.TODO() calls inside a function
+//     that already has a context.Context parameter — a context is in
+//     scope, forward it.
+//   - context.Background() / context.TODO() anywhere else in the
+//     package, because request-path packages have no main and no
+//     process bind-time: a detached context is legal only where a
+//     lifetime genuinely outlives every caller.
+//
+// Escape hatch: //lint:ctx <justification> on the call line, the line
+// above, or the enclosing function's doc comment. The justification is
+// mandatory — a session's own heartbeat loop or a connection's serve
+// context are real detached lifetimes, and the annotation is where
+// that design decision is recorded.
+var CtxPropagation = &Analyzer{
+	Name: "ctxpropagation",
+	Doc:  "flag detached contexts (Background/TODO) in request-path packages",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(pass *Pass) error {
+	if !pass.InScope("repro/internal/service", "repro/lease", "repro/leaseclient") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if d := ctxAt(pass, file, call.Pos()); d.found {
+				if d.justification == "" {
+					pass.Reportf(call.Pos(), "lint:ctx requires a justification string")
+				}
+				return true
+			}
+			if fd := enclosingFunc(file, call.Pos()); fd != nil && hasCtxParam(pass, fd) {
+				pass.Reportf(call.Pos(),
+					"context.%s() in a function that already takes a context.Context: forward the caller's context instead",
+					fn.Name())
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in a request-path package severs caller cancellation: accept and forward a context.Context, or annotate //lint:ctx <why> for a genuinely detached lifetime",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the declaration takes a context.Context
+// parameter.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.Info.TypeOf(field.Type); t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}

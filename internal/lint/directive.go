@@ -6,7 +6,7 @@ import (
 	"strings"
 )
 
-// The two annotation grammars the suite understands:
+// The annotation grammars the suite understands:
 //
 //	//lint:wallclock <justification>
 //	    Suppresses a determinism finding. Valid on the offending line,
@@ -14,12 +14,20 @@ import (
 //	    comment (which then covers the whole function). The
 //	    justification is mandatory: an empty one is itself a finding.
 //
+//	//lint:ctx <justification>
+//	    Suppresses a ctxpropagation finding, same placement and
+//	    mandatory-justification rules as //lint:wallclock. A detached
+//	    context is legal only where a lifetime genuinely outlives every
+//	    caller (a connection's serve loop, a session's own heartbeat)
+//	    and the annotation is where that decision is recorded.
+//
 //	//renamed:noalloc
 //	    Declares the annotated function heap-escape-free; the noalloc
 //	    analyzer fails the build if the compiler's escape analysis
 //	    disagrees. Valid only in a function's doc comment.
 const (
 	wallclockDirective = "//lint:wallclock"
+	ctxDirective       = "//lint:ctx"
 	noallocDirective   = "//renamed:noalloc"
 )
 
@@ -30,34 +38,52 @@ type wallclock struct {
 	pos           token.Pos
 }
 
-// wallclockAt looks for a //lint:wallclock directive covering pos:
-// same line, the line above, or the doc comment of the enclosing
-// function declaration.
+// wallclockAt looks for a //lint:wallclock directive covering pos.
 func wallclockAt(pass *Pass, file *ast.File, pos token.Pos) wallclock {
+	return directiveAt(pass, file, pos, wallclockDirective)
+}
+
+// ctxAt looks for a //lint:ctx directive covering pos.
+func ctxAt(pass *Pass, file *ast.File, pos token.Pos) wallclock {
+	return directiveAt(pass, file, pos, ctxDirective)
+}
+
+// directiveAt looks for the given suppression directive covering pos:
+// same line, the line above, or the doc comment of the enclosing
+// function declaration. A directive matches only whole — "//lint:ctx"
+// never claims a "//lint:ctxfoo" comment.
+func directiveAt(pass *Pass, file *ast.File, pos token.Pos, directive string) wallclock {
+	match := func(c *ast.Comment) (wallclock, bool) {
+		if !strings.HasPrefix(c.Text, directive) {
+			return wallclock{}, false
+		}
+		rest := strings.TrimPrefix(c.Text, directive)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			return wallclock{}, false
+		}
+		return wallclock{
+			found:         true,
+			justification: strings.TrimSpace(rest),
+			pos:           c.Pos(),
+		}, true
+	}
 	line := pass.Fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, wallclockDirective) {
+			wc, ok := match(c)
+			if !ok {
 				continue
 			}
 			cline := pass.Fset.Position(c.Pos()).Line
 			if cline == line || cline == line-1 {
-				return wallclock{
-					found:         true,
-					justification: strings.TrimSpace(strings.TrimPrefix(c.Text, wallclockDirective)),
-					pos:           c.Pos(),
-				}
+				return wc
 			}
 		}
 	}
 	if fd := enclosingFunc(file, pos); fd != nil && fd.Doc != nil {
 		for _, c := range fd.Doc.List {
-			if strings.HasPrefix(c.Text, wallclockDirective) {
-				return wallclock{
-					found:         true,
-					justification: strings.TrimSpace(strings.TrimPrefix(c.Text, wallclockDirective)),
-					pos:           c.Pos(),
-				}
+			if wc, ok := match(c); ok {
+				return wc
 			}
 		}
 	}

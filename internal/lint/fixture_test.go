@@ -89,6 +89,7 @@ func TestDeterminismFixture(t *testing.T)      { runFixture(t, Determinism) }
 func TestNoAllocFixture(t *testing.T)          { runFixture(t, NoAlloc) }
 func TestTelemetryHandlesFixture(t *testing.T) { runFixture(t, TelemetryHandles) }
 func TestWireErrorsFixture(t *testing.T)       { runFixture(t, WireErrors) }
+func TestCtxPropagationFixture(t *testing.T)   { runFixture(t, CtxPropagation) }
 
 // TestSuiteCleanOnTree is the in-test mirror of CI's
 // `go run ./cmd/renamedlint ./...`: the shipped tree itself must be

@@ -1,8 +1,8 @@
 // Package lint is the repo's custom static-analysis suite: a small
 // go/analysis-shaped framework (the container image carries no module
 // proxy, so golang.org/x/tools is out of reach — the API mirrors it on
-// the standard library instead) plus the five analyzers that pin the
-// coding invariants earlier PRs fought for:
+// the standard library instead) plus the analyzers that pin the coding
+// invariants earlier PRs fought for:
 //
 //   - lockdiscipline — the PR-5 reclaim protocol: nothing that can
 //     block or re-enter the namer runs under a stripe lock.
@@ -15,6 +15,10 @@
 //     resolved once at wiring time, never per request.
 //   - wireerrors — the PR-3 taxonomy: wire/service errors wrap typed
 //     sentinels so errors.Is keeps working across the wire.
+//   - ctxpropagation — the PR-10 elastic contract: request-path
+//     packages forward the caller's context.Context; a detached
+//     context.Background() is legal only on a justified, genuinely
+//     caller-outliving lifetime.
 //
 // Analyzers scope themselves by import path; each also accepts its own
 // fixture package under internal/lint/testdata/src/<name>, which is how
@@ -99,6 +103,7 @@ func Analyzers() []*Analyzer {
 		NoAlloc,
 		TelemetryHandles,
 		WireErrors,
+		CtxPropagation,
 	}
 }
 

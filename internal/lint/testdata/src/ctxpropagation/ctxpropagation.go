@@ -1,0 +1,64 @@
+// Package ctxpropagation is the known-bad fixture for the
+// ctxpropagation analyzer: every flagged line carries a `// want`
+// expectation, and the clean idioms (forwarded contexts, justified
+// detached lifetimes) must stay silent.
+package ctxpropagation
+
+import (
+	"context"
+	"time"
+)
+
+// fetch stands in for any blocking request-path step.
+func fetch(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// forwarded is the contract: the caller's context reaches the blocking
+// step untouched.
+func forwarded(ctx context.Context) error {
+	return fetch(ctx)
+}
+
+// severed mints a fresh root even though the caller handed one in — the
+// canonical cancellation leak.
+func severed(ctx context.Context) error {
+	_ = ctx
+	return fetch(context.Background()) // want `already takes a context\.Context: forward`
+}
+
+// stubbed parks a TODO where a real context belongs.
+func stubbed(ctx context.Context) error {
+	_ = ctx
+	return fetch(context.TODO()) // want `already takes a context\.Context: forward`
+}
+
+// rootless has no context to forward and no justification for not
+// taking one.
+func rootless() error {
+	return fetch(context.Background()) // want `severs caller cancellation`
+}
+
+// heartbeatLoop is a genuinely detached lifetime: the session's own
+// background renewals outlive any single caller, and the annotation
+// records that decision.
+func heartbeatLoop() error {
+	//lint:ctx the heartbeat loop outlives every caller by design
+	return fetch(context.Background())
+}
+
+// serveConn shows the function-level form covering the whole body.
+//
+//lint:ctx a connection's serve context is the connection's lifetime, not a request's
+func serveConn() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return fetch(ctx)
+}
+
+// unjustified suppresses without saying why — itself a finding.
+func unjustified() error {
+	//lint:ctx
+	return fetch(context.Background()) // want `lint:ctx requires a justification`
+}

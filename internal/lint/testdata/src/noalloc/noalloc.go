@@ -1,7 +1,11 @@
 // Package noalloc is the known-bad fixture for the noalloc analyzer:
-// one annotated function the compiler's escape analysis proves clean,
-// one it proves allocating.
+// annotated functions the compiler's escape analysis proves clean next
+// to ones it proves allocating, covering the shapes the real tree
+// annotates — codec appends, atomic gauge reads, and the closure trap
+// a method value springs.
 package noalloc
+
+import "sync/atomic"
 
 // AppendU32 appends big-endian v to dst — the codec idiom: the only
 // heap traffic is the caller's own slice.
@@ -19,3 +23,30 @@ func Box(v int) *int { // want `annotated //renamed:noalloc but the compiler rep
 	x := v
 	return &x
 }
+
+// gauge mirrors the elastic capacity gauges: one atomic load, no
+// escapes — the shape Capacity()/MaxLive() readers must keep on the
+// scrape path.
+type gauge struct {
+	v  atomic.Int64
+	ok func(int) bool
+}
+
+// Load is the clean gauge read.
+//
+//renamed:noalloc
+func (g *gauge) Load() float64 {
+	return float64(g.v.Load())
+}
+
+// Probe claims the same but passes a method value as a callback, which
+// materializes a closure on the heap — the reason the drain-state gauge
+// stays un-annotated in the real tree.
+//
+//renamed:noalloc
+func (g *gauge) Probe() bool { // want `annotated //renamed:noalloc but the compiler reports a heap allocation`
+	g.ok = g.held
+	return g.ok(int(g.v.Load()))
+}
+
+func (g *gauge) held(int) bool { return true }

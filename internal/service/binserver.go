@@ -63,6 +63,7 @@ func NewBinServer(core *Core, cfg BinConfig) *BinServer {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 30 * time.Second
 	}
+	//lint:ctx the server root context is the process's serve lifetime, created at bind time and cancelled by Close
 	ctx, cancel := context.WithCancel(context.Background())
 	return &BinServer{
 		core:   core,
@@ -344,6 +345,11 @@ func (c *binConn) dispatch(ctx context.Context, h binproto.Header) bool {
 			break
 		}
 		m := b.StatsCounted()
+		capacity, draining, _ := c.srv.core.NamespaceInfo()
+		var drainWord int64
+		if draining {
+			drainWord = 1
+		}
 		ok(binproto.TStats)
 		c.resp = binproto.AppendStatsResp(c.resp, binproto.Stats{
 			Live:     int64(m.Live),
@@ -352,7 +358,21 @@ func (c *binConn) dispatch(ctx context.Context, h binproto.Header) bool {
 			Released: m.Released,
 			Expired:  m.Expired,
 			Rejected: m.Rejected,
+			Capacity: int64(capacity),
+			MaxLive:  m.MaxLive,
+			Resizes:  m.Resizes,
+			Draining: drainWord,
 		})
+
+	case binproto.TResize:
+		capacity, err := binproto.DecodeResizeReq(c.payload)
+		if err != nil {
+			opErr = err
+			break
+		}
+		st := b.Resize(int(capacity))
+		ok(binproto.TResize)
+		c.resp = binproto.AppendResizeResp(c.resp, st.Bin())
 
 	default:
 		// A request carrying a response type: protocol misuse, drop.
@@ -401,6 +421,8 @@ func opLabel(t binproto.Type) string {
 		return "release_batch"
 	case binproto.TStats:
 		return "stats"
+	case binproto.TResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("type_0x%02x", byte(t))
 	}

@@ -12,9 +12,12 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	renaming "repro"
 	"repro/internal/wire"
+	"repro/internal/wire/binproto"
 	"repro/lease"
 )
 
@@ -207,4 +210,134 @@ func (b *Binding) StatsCounted() lease.Metrics {
 	start := time.Now()
 	defer b.observe(opStats, start)
 	return b.mgr.Metrics()
+}
+
+// Capacity reads the namer's instantaneous capacity: one atomic
+// geometry load on the elastic path. Kept separate from NamespaceInfo
+// because the drain-state read walks the drained tail — a per-scrape
+// capacity gauge must not pay for it.
+//
+//renamed:noalloc
+func (c *Core) Capacity() int {
+	if ln, ok := c.mgr.Namer().(renaming.LongLivedNamer); ok {
+		return ln.Capacity()
+	}
+	return 0
+}
+
+// NamespaceInfo snapshots the namer side of the elastic state: current
+// capacity, whether a shrink is still draining held names above its
+// bound, and the resize epoch. A namer without the resizable extension
+// reports a static capacity with zero drain state.
+func (c *Core) NamespaceInfo() (capacity int, draining bool, epoch uint64) {
+	nm := c.mgr.Namer()
+	if ln, ok := nm.(renaming.LongLivedNamer); ok {
+		capacity = ln.Capacity()
+	}
+	if rn, ok := nm.(renaming.ResizableNamer); ok {
+		draining = rn.Draining()
+		epoch = rn.ResizeEpoch()
+	}
+	return capacity, draining, epoch
+}
+
+// ResizeStatus is the outcome of one Resize call: the post-resize
+// geometry plus per-component errors. The namer and the lease cap are
+// retargeted independently — either can fail on its own and the other
+// side's change still stands, exactly like batch per-item verdicts.
+type ResizeStatus struct {
+	Capacity int
+	MaxLive  int64
+	Epoch    uint64
+	Draining bool
+	Namer    error // namer capacity retarget outcome
+	Lease    error // lease live-cap retarget outcome
+}
+
+// Wire renders the status as the JSON /v1/resize response body. Codes
+// come from the binary taxonomy's string forms so a bad-config verdict
+// reads "bad_request" on both surfaces.
+func (s ResizeStatus) Wire() wire.ResizeResponse {
+	resp := wire.ResizeResponse{
+		Capacity: s.Capacity,
+		MaxLive:  s.MaxLive,
+		Epoch:    s.Epoch,
+		Draining: s.Draining,
+	}
+	for _, v := range []struct {
+		component string
+		err       error
+	}{{"namer", s.Namer}, {"lease", s.Lease}} {
+		r := wire.ResizeResult{Component: v.component}
+		if v.err != nil {
+			r.Code = binproto.CodeString(binproto.CodeForErr(v.err))
+			r.Error = v.err.Error()
+		}
+		resp.Results = append(resp.Results, r)
+	}
+	return resp
+}
+
+// Bin renders the status as the binary TResize response payload.
+func (s ResizeStatus) Bin() binproto.ResizeResult {
+	res := binproto.ResizeResult{
+		Capacity: int64(s.Capacity),
+		MaxLive:  s.MaxLive,
+		Epoch:    s.Epoch,
+		Draining: s.Draining,
+	}
+	for _, v := range []struct {
+		component string
+		err       error
+	}{{"namer", s.Namer}, {"lease", s.Lease}} {
+		verdict := binproto.ResizeVerdict{Component: v.component, Code: binproto.CodeForErr(v.err)}
+		if v.err != nil {
+			verdict.Msg = v.err.Error()
+		}
+		res.Verdicts = append(res.Verdicts, verdict)
+	}
+	return res
+}
+
+// Ok reports whether every component accepted the resize.
+func (s ResizeStatus) Ok() bool { return s.Namer == nil && s.Lease == nil }
+
+// Resize retargets the elastic namespace to n names: the namer's
+// capacity and the lease manager's live cap move together. Ordering
+// keeps the cap conservative at every instant — on grow the namer
+// widens before the cap rises, on shrink the cap drops before the
+// namer narrows — so no reservation is ever admitted against capacity
+// that does not (yet, or any longer) exist. A manager configured
+// uncapped (MaxLive 0) stays uncapped: the resize moves the namespace,
+// not the operator's decision to throttle.
+func (b *Binding) Resize(n int) ResizeStatus {
+	start := time.Now()
+	defer b.observe(opResize, start)
+
+	nm := b.mgr.Namer()
+	rn, resizable := nm.(renaming.ResizableNamer)
+	var st ResizeStatus
+	doNamer := func() {
+		if !resizable {
+			st.Namer = fmt.Errorf("service: namer %T cannot resize: %w", nm, renaming.ErrBadConfig)
+			return
+		}
+		st.Namer = rn.Resize(n)
+	}
+	doLease := func() {
+		if b.mgr.MaxLive() == 0 {
+			return // uncapped stays uncapped
+		}
+		st.Lease = b.mgr.SetMaxLive(n)
+	}
+	if n >= b.core.Capacity() {
+		doNamer()
+		doLease()
+	} else {
+		doLease()
+		doNamer()
+	}
+	st.Capacity, st.Draining, st.Epoch = b.core.NamespaceInfo()
+	st.MaxLive = int64(b.mgr.MaxLive())
+	return st
 }

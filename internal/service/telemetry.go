@@ -13,6 +13,7 @@ const (
 	opRelease
 	opReleaseBatch
 	opStats
+	opResize
 	opCount
 )
 
@@ -20,7 +21,7 @@ const (
 // route names; "stats" exists only on transports that serve it as a
 // request (the binary TStats frame).
 var opName = [opCount]string{
-	"acquire", "acquire_batch", "renew", "renew_batch", "release", "release_batch", "stats",
+	"acquire", "acquire_batch", "renew", "renew_batch", "release", "release_batch", "stats", "resize",
 }
 
 // Transports are the label values the per-transport series are

@@ -9,7 +9,7 @@
 //	offset size  field
 //	0      2     magic "RB"
 //	2      1     version (2)
-//	3      1     frame type (request 0x01..0x07; response = type|0x80;
+//	3      1     frame type (request 0x01..0x08; response = type|0x80;
 //	             error response 0xFF)
 //	4      8     request ID (uint64, big-endian) — echoed verbatim on
 //	             the response, and rendered %016x it is the same shape
@@ -78,7 +78,7 @@ const (
 	Magic1 = 'B'
 )
 
-// Type discriminates frames. Requests are 0x01..0x07; a successful
+// Type discriminates frames. Requests are 0x01..0x08; a successful
 // response echoes the request type with the high bit set; TError is the
 // whole-request failure response.
 type Type byte
@@ -91,6 +91,7 @@ const (
 	TRelease      Type = 0x05
 	TReleaseBatch Type = 0x06
 	TStats        Type = 0x07
+	TResize       Type = 0x08
 
 	// RespBit marks a response frame: response type = request | RespBit.
 	RespBit Type = 0x80
@@ -306,7 +307,7 @@ func validType(t Type) bool {
 		return true
 	}
 	base := t &^ RespBit
-	return base >= TAcquire && base <= TStats
+	return base >= TAcquire && base <= TResize
 }
 
 // BeginFrame appends a header placeholder for one frame and returns the

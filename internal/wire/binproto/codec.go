@@ -23,6 +23,9 @@ import (
 //	               resp: count u32 | count * code u8
 //	TStats         req:  empty
 //	               resp: live i64 | acquired i64 | renewed i64 | released i64 | expired i64 | rejected i64
+//	                     | capacity i64 | maxLive i64 | resizes i64 | draining i64 (0/1)
+//	TResize        req:  capacity i64
+//	               resp: capacity i64 | maxLive i64 | epoch u64 | draining u8 | count u8 | count * (code u8 | component str | msg str)
 //	TError         resp: code u8 | msg str
 //
 // Batch counts are validated against the actual payload length BEFORE
@@ -499,7 +502,10 @@ func DecodeReleaseBatchResp(p []byte, out []byte) ([]byte, error) {
 
 // Stats is the binary stats response: the lease-table counters a
 // monitoring client (or a transport-level health check) reads in one
-// round trip.
+// round trip. Capacity, MaxLive, Resizes and Draining describe the
+// elastic namespace: the namer's current capacity, the lease cap, how
+// many times either has been resized, and (0/1) whether a shrink is
+// still draining held names above the new bound.
 type Stats struct {
 	Live     int64
 	Acquired int64
@@ -507,6 +513,10 @@ type Stats struct {
 	Released int64
 	Expired  int64
 	Rejected int64
+	Capacity int64
+	MaxLive  int64
+	Resizes  int64
+	Draining int64
 }
 
 // AppendStatsResp encodes a TStats response payload.
@@ -518,7 +528,11 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 	dst = appendI64(dst, s.Renewed)
 	dst = appendI64(dst, s.Released)
 	dst = appendI64(dst, s.Expired)
-	return appendI64(dst, s.Rejected)
+	dst = appendI64(dst, s.Rejected)
+	dst = appendI64(dst, s.Capacity)
+	dst = appendI64(dst, s.MaxLive)
+	dst = appendI64(dst, s.Resizes)
+	return appendI64(dst, s.Draining)
 }
 
 // DecodeStatsResp decodes a TStats response payload.
@@ -527,7 +541,8 @@ func AppendStatsResp(dst []byte, s Stats) []byte {
 func DecodeStatsResp(p []byte) (Stats, error) {
 	r := reader{p: p}
 	var s Stats
-	for _, f := range []*int64{&s.Live, &s.Acquired, &s.Renewed, &s.Released, &s.Expired, &s.Rejected} {
+	for _, f := range []*int64{&s.Live, &s.Acquired, &s.Renewed, &s.Released, &s.Expired,
+		&s.Rejected, &s.Capacity, &s.MaxLive, &s.Resizes, &s.Draining} {
 		v, ok := r.i64()
 		if !ok {
 			return Stats{}, ErrTruncated
@@ -535,6 +550,118 @@ func DecodeStatsResp(p []byte) (Stats, error) {
 		*f = v
 	}
 	return s, r.done()
+}
+
+// --- resize ---
+
+// ResizeVerdict is one component's outcome inside a TResize response:
+// the admin op touches both the namer and the lease cap, and either can
+// fail independently (e.g. a namer built without WithResizable). Code
+// is a shared result byte; Msg carries the rendered error on failure.
+type ResizeVerdict struct {
+	Component string
+	Code      byte
+	Msg       string
+}
+
+// ResizeResult is a decoded TResize response: the post-resize geometry
+// plus the per-component verdicts.
+type ResizeResult struct {
+	Capacity int64
+	MaxLive  int64
+	Epoch    uint64
+	Draining bool
+	Verdicts []ResizeVerdict
+}
+
+// AppendResizeReq encodes a TResize request payload.
+//
+//renamed:noalloc
+func AppendResizeReq(dst []byte, capacity int64) []byte {
+	return appendI64(dst, capacity)
+}
+
+// DecodeResizeReq decodes a TResize request payload.
+//
+//renamed:noalloc
+func DecodeResizeReq(p []byte) (capacity int64, err error) {
+	r := reader{p: p}
+	capacity, ok := r.i64()
+	if !ok {
+		return 0, ErrTruncated
+	}
+	return capacity, r.done()
+}
+
+// AppendResizeResp encodes a TResize response payload. Resize is a rare
+// admin op; unlike the hot-path codecs it is free to allocate.
+func AppendResizeResp(dst []byte, res ResizeResult) []byte {
+	dst = appendI64(dst, res.Capacity)
+	dst = appendI64(dst, res.MaxLive)
+	dst = appendU64(dst, res.Epoch)
+	var d byte
+	if res.Draining {
+		d = 1
+	}
+	dst = append(dst, d)
+	n := len(res.Verdicts)
+	if n > 0xFF {
+		n = 0xFF
+	}
+	dst = append(dst, byte(n))
+	for _, v := range res.Verdicts[:n] {
+		dst = append(dst, v.Code)
+		dst = appendStr(dst, v.Component)
+		dst = appendStr(dst, v.Msg)
+	}
+	return dst
+}
+
+// DecodeResizeResp decodes a TResize response payload.
+func DecodeResizeResp(p []byte) (ResizeResult, error) {
+	r := reader{p: p}
+	var res ResizeResult
+	var ok bool
+	if res.Capacity, ok = r.i64(); !ok {
+		return ResizeResult{}, ErrTruncated
+	}
+	if res.MaxLive, ok = r.i64(); !ok {
+		return ResizeResult{}, ErrTruncated
+	}
+	if res.Epoch, ok = r.u64(); !ok {
+		return ResizeResult{}, ErrTruncated
+	}
+	d, ok := r.byte()
+	if !ok {
+		return ResizeResult{}, ErrTruncated
+	}
+	res.Draining = d != 0
+	count, ok := r.byte()
+	if !ok {
+		return ResizeResult{}, ErrTruncated
+	}
+	// Each verdict costs at least 5 bytes (code + two length prefixes);
+	// reject a count the remaining bytes cannot carry before allocating.
+	if int(count)*5 > r.remaining() {
+		return ResizeResult{}, ErrTruncated
+	}
+	if count > 0 {
+		res.Verdicts = make([]ResizeVerdict, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		var v ResizeVerdict
+		if v.Code, ok = r.byte(); !ok {
+			return ResizeResult{}, ErrTruncated
+		}
+		if v.Component, ok = r.str(); !ok {
+			return ResizeResult{}, ErrTruncated
+		}
+		if v.Msg, ok = r.str(); !ok {
+			return ResizeResult{}, ErrTruncated
+		}
+		res.Verdicts = append(res.Verdicts, v)
+	}
+	return res, r.done()
 }
 
 // --- error ---
@@ -587,6 +714,8 @@ func DecodePayload(h Header, p []byte) error {
 		if len(p) != 0 {
 			err = ErrTrailingBytes
 		}
+	case TResize:
+		_, err = DecodeResizeReq(p)
 	case TAcquire | RespBit, TRenew | RespBit:
 		_, err = DecodeLease(p)
 	case TAcquireBatch | RespBit:
@@ -601,6 +730,8 @@ func DecodePayload(h Header, p []byte) error {
 		_, err = DecodeReleaseBatchResp(p, nil)
 	case TStats | RespBit:
 		_, err = DecodeStatsResp(p)
+	case TResize | RespBit:
+		_, err = DecodeResizeResp(p)
 	case TError:
 		_, _, err = DecodeErrorResp(p)
 	default:

@@ -38,8 +38,8 @@ func TestParseHeaderErrors(t *testing.T) {
 		{"bad magic1", func(b []byte) []byte { b[1] = 'X'; return b }, ErrBadMagic},
 		{"bad version", func(b []byte) []byte { b[2] = 99; return b }, ErrBadVersion},
 		{"zero type", func(b []byte) []byte { b[3] = 0; return b }, ErrUnknownType},
-		{"type past stats", func(b []byte) []byte { b[3] = 0x08; return b }, ErrUnknownType},
-		{"resp of bad type", func(b []byte) []byte { b[3] = 0x88; return b }, ErrUnknownType},
+		{"type past resize", func(b []byte) []byte { b[3] = 0x09; return b }, ErrUnknownType},
+		{"resp of bad type", func(b []byte) []byte { b[3] = 0x89; return b }, ErrUnknownType},
 		{"oversized len", func(b []byte) []byte { b[12] = 0xFF; return b }, ErrTooLarge},
 	}
 	for _, tc := range cases {
@@ -202,11 +202,45 @@ func TestReleaseRoundTrip(t *testing.T) {
 }
 
 func TestStatsRoundTrip(t *testing.T) {
-	in := Stats{Live: 1, Acquired: 2, Renewed: 3, Released: 4, Expired: 5, Rejected: 6}
+	in := Stats{Live: 1, Acquired: 2, Renewed: 3, Released: 4, Expired: 5, Rejected: 6,
+		Capacity: 7, MaxLive: 8, Resizes: 9, Draining: 1}
 	p := AppendStatsResp(nil, in)
 	out, err := DecodeStatsResp(p)
 	if err != nil || out != in {
 		t.Fatalf("stats = %+v, %v", out, err)
+	}
+}
+
+func TestResizeRoundTrip(t *testing.T) {
+	p := AppendResizeReq(nil, 4096)
+	capacity, err := DecodeResizeReq(p)
+	if err != nil || capacity != 4096 {
+		t.Fatalf("resize req = (%d, %v)", capacity, err)
+	}
+
+	in := ResizeResult{
+		Capacity: 4096, MaxLive: 2048, Epoch: 3, Draining: true,
+		Verdicts: []ResizeVerdict{
+			{Component: "namer", Code: CodeOK},
+			{Component: "lease", Code: CodeBadRequest, Msg: "cap out of range"},
+		},
+	}
+	out, err := DecodeResizeResp(AppendResizeResp(nil, in))
+	if err != nil {
+		t.Fatalf("resize resp decode: %v", err)
+	}
+	if out.Capacity != in.Capacity || out.MaxLive != in.MaxLive ||
+		out.Epoch != in.Epoch || out.Draining != in.Draining ||
+		len(out.Verdicts) != 2 || out.Verdicts[0] != in.Verdicts[0] || out.Verdicts[1] != in.Verdicts[1] {
+		t.Fatalf("resize resp = %+v, want %+v", out, in)
+	}
+
+	// A verdict count the remaining bytes cannot pay for must be rejected
+	// before any allocation.
+	hostile := AppendResizeResp(nil, ResizeResult{})
+	hostile[len(hostile)-1] = 0xFF
+	if _, err := DecodeResizeResp(hostile); err == nil {
+		t.Fatal("hostile verdict count decoded cleanly")
 	}
 }
 

@@ -32,6 +32,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed(TRenewBatch|RespBit, AppendRenewResult(AppendBatchRespHeader(nil, 1), CodeOK, 1, 2, 3))
 	seed(TReleaseBatch|RespBit, append(AppendBatchRespHeader(nil, 1), CodeOK))
 	seed(TStats|RespBit, AppendStatsResp(nil, Stats{Live: 1}))
+	seed(TResize, AppendResizeReq(nil, 4096))
+	seed(TResize|RespBit, AppendResizeResp(nil, ResizeResult{
+		Capacity: 4096, MaxLive: 4096, Epoch: 2, Draining: true,
+		Verdicts: []ResizeVerdict{{Component: "namer", Code: CodeOK}},
+	}))
 	seed(TError, AppendErrorResp(nil, CodeExhausted, "full"))
 
 	// Hostile seeds: torn frames, oversized declared lengths, truncated
@@ -58,6 +63,15 @@ func FuzzDecodeFrame(f *testing.F) {
 		buf = appendI64(buf, 30_000)
 		buf = appendStr(buf, "o")
 		buf = appendU16(buf, 0xFFFF)
+		buf = EndFrame(buf, start)
+		f.Add(buf)
+	}
+	{ // resize-verdict count the bytes don't pay for
+		buf, start := BeginFrame(nil, TResize|RespBit, 1)
+		buf = appendI64(buf, 64)
+		buf = appendI64(buf, 64)
+		buf = appendU64(buf, 1)
+		buf = append(buf, 0, 0xFF)
 		buf = EndFrame(buf, start)
 		f.Add(buf)
 	}

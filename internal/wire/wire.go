@@ -112,6 +112,35 @@ type BatchResults struct {
 	Results []BatchResult `json:"results"`
 }
 
+// ResizeRequest is the body of POST /v1/resize: the requested namespace
+// capacity. Resize is an admin operation, not a data-path one — the
+// server retargets both the namer's capacity and the lease manager's
+// live cap to the same bound.
+type ResizeRequest struct {
+	Capacity int `json:"capacity"`
+}
+
+// ResizeResult is one component's outcome inside a resize response,
+// mirroring the batch per-item shape: the namer and the lease cap are
+// adjusted independently and either can fail on its own (a non-elastic
+// namer rejects the resize while the cap still moves).
+type ResizeResult struct {
+	Component string `json:"component"`
+	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
+}
+
+// ResizeResponse is the body of a /v1/resize response: the post-resize
+// geometry plus per-component verdicts. Draining reports whether a
+// shrink is still waiting on held names above the new bound.
+type ResizeResponse struct {
+	Capacity int            `json:"capacity"`
+	MaxLive  int64          `json:"max_live"`
+	Epoch    uint64         `json:"epoch"`
+	Draining bool           `json:"draining"`
+	Results  []ResizeResult `json:"results"`
+}
+
 // Error is the body of every non-2xx response.
 type Error struct {
 	Error string `json:"error"`

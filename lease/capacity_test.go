@@ -172,6 +172,175 @@ func TestReclaimFailedCounted(t *testing.T) {
 	}
 }
 
+// TestSetMaxLiveShrinkWithExpiredPending is the clock-injected shrink
+// regression: the cap is lowered while EXPIRED leases still occupy
+// reservation slots. The reserve path at the new, smaller cap must
+// reclaim them before rejecting — a shrink must not wedge acquisition
+// behind corpses — and the post-shrink cap must then hold exactly.
+func TestSetMaxLiveShrinkWithExpiredPending(t *testing.T) {
+	nm, err := renaming.NewLevelArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: 10 * time.Second, SweepInterval: -1, MaxLive: 4, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := m.Acquire("w", time.Second, nil); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	clk.Advance(2 * time.Second)
+	// All four leases are expired but unreclaimed; the reservation counter
+	// still reads 4. Shrink underneath them.
+	if err := m.SetMaxLive(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Acquire("w", 0, nil); err != nil {
+			t.Fatalf("acquire %d over expired leases after shrink: %v", i, err)
+		}
+	}
+	if _, err := m.Acquire("w", 0, nil); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("acquire over the shrunk cap = %v, want ErrCapacity", err)
+	}
+	mt := m.Metrics()
+	if mt.MaxLive != 2 || mt.Resizes != 1 || mt.Live != 2 || mt.Expired != 4 {
+		t.Fatalf("metrics = %+v, want MaxLive 2, Resizes 1, Live 2, Expired 4", mt)
+	}
+}
+
+// TestSetMaxLiveShrinkBelowLive pins the documented shrink-below-live
+// semantics: live holders ride to expiry (or release), new acquires
+// fail until attrition brings live under the new cap, and nothing is
+// revoked by the shrink itself.
+func TestSetMaxLiveShrinkBelowLive(t *testing.T) {
+	nm, err := renaming.NewLevelArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	m, err := New(nm, Config{TTL: 10 * time.Second, SweepInterval: -1, MaxLive: 4, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	leases := make([]Lease, 0, 4)
+	for i := 0; i < 4; i++ {
+		l, err := m.Acquire("w", 0, nil)
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		leases = append(leases, l)
+	}
+	if err := m.SetMaxLive(2); err != nil {
+		t.Fatal(err)
+	}
+	// All four holders survive the shrink and can still renew.
+	for _, l := range leases {
+		if _, err := m.Renew(l.Name, l.Token, 0); err != nil {
+			t.Fatalf("Renew(%d) after shrink: %v", l.Name, err)
+		}
+	}
+	if mt := m.Metrics(); mt.Live != 4 || mt.MaxLive != 2 {
+		t.Fatalf("metrics = %+v, want 4 riders over a cap of 2", mt)
+	}
+	if _, err := m.Acquire("w", 0, nil); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("acquire with live > cap = %v, want ErrCapacity", err)
+	}
+	// Attrition: releasing down to the cap is not enough (live == cap is
+	// full); one below opens exactly one slot.
+	for i := 0; i < 3; i++ {
+		if err := m.Release(leases[i].Name, leases[i].Token); err != nil {
+			t.Fatalf("Release %d: %v", i, err)
+		}
+	}
+	if _, err := m.Acquire("w", 0, nil); err != nil {
+		t.Fatalf("acquire after attrition under the cap: %v", err)
+	}
+	if _, err := m.Acquire("w", 0, nil); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("acquire at the refilled cap = %v, want ErrCapacity", err)
+	}
+}
+
+// TestSetMaxLiveRacesReserveAndSweep hammers the lock-free reserve path
+// and the sweeper while the cap flaps underneath them — the -race proof
+// that SetMaxLive's atomic conversion kept reserve lock-free and tear-
+// free. Liveness and the race detector are the assertions; the final
+// settle checks the counters still reconcile.
+func TestSetMaxLiveRacesReserveAndSweep(t *testing.T) {
+	nm, err := renaming.NewLevelArray(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(nm, Config{TTL: time.Minute, SweepInterval: -1, MaxLive: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var held []Lease
+			for i := 0; i < 300; i++ {
+				l, err := m.Acquire("w", 0, nil)
+				if err != nil {
+					if !errors.Is(err, ErrCapacity) {
+						t.Errorf("Acquire: %v", err)
+						return
+					}
+					for _, h := range held {
+						if err := m.Release(h.Name, h.Token); err != nil {
+							t.Errorf("Release: %v", err)
+						}
+					}
+					held = held[:0]
+					continue
+				}
+				held = append(held, l)
+			}
+			for _, h := range held {
+				if err := m.Release(h.Name, h.Token); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			m.SweepOnce()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		caps := []int{8, 64, 2, 0, 32}
+		for i := 0; i < 200; i++ {
+			if err := m.SetMaxLive(caps[i%len(caps)]); err != nil {
+				t.Errorf("SetMaxLive: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	mt := m.Metrics()
+	if mt.Resizes != 200 {
+		t.Fatalf("Resizes = %d, want 200", mt.Resizes)
+	}
+	if mt.Live != 0 || mt.Reserved != 0 {
+		t.Fatalf("metrics after full release = %+v, want empty table", mt)
+	}
+}
+
 // TestMetricsExposesSweepAndReservedCounters: the Metrics fields the
 // telemetry exposition scrapes — CapacitySweeps counts at-capacity
 // sweep passes actually run, and Reserved tracks reservations + held

@@ -107,7 +107,8 @@ type Config struct {
 	// Long-lived namers guarantee their probe bounds only up to a
 	// capacity; set MaxLive to that capacity to enforce it (Acquire then
 	// fails with ErrCapacity instead of degrading). 0 means uncapped —
-	// the namer's namespace is the only limit.
+	// the namer's namespace is the only limit. This is the INITIAL cap;
+	// SetMaxLive changes it at runtime.
 	MaxLive int
 	// Shards overrides the number of lock stripes the lease table is
 	// split into. 0 means nextPow2(GOMAXPROCS); other values are rounded
@@ -206,6 +207,12 @@ type Metrics struct {
 	// (plus any expired-but-unreclaimed leases still holding capacity).
 	Reserved int64
 	Live     int // unexpired leases currently held
+	// MaxLive is the instantaneous live-lease cap (0 = uncapped) and
+	// Resizes counts successful SetMaxLive calls. After a shrink below
+	// the live population, Live > MaxLive is expected — existing holders
+	// ride to expiry while new acquires are refused.
+	MaxLive int64
+	Resizes int64
 }
 
 // Manager grants, renews, expires and reclaims leases over a Namer.
@@ -242,6 +249,12 @@ type Manager struct {
 	// Acquire could fail with ErrCapacity while expired leases sat
 	// unreclaimed.
 	live atomic.Int64
+	// maxLive is the runtime live-lease cap (0 = uncapped), seeded from
+	// cfg.MaxLive and mutable via SetMaxLive. An atomic, not a field
+	// read, so the lock-free reservation in reserve stays lock-free
+	// while the cap changes underneath it. resizes counts the changes.
+	maxLive atomic.Int64
+	resizes atomic.Int64
 
 	token atomic.Uint64
 
@@ -273,6 +286,7 @@ func New(namer renaming.Namer, cfg Config) (*Manager, error) {
 	for i := range m.shards {
 		m.shards[i].leases = make(map[int]Lease)
 	}
+	m.maxLive.Store(int64(cfg.MaxLive))
 	if cfg.SweepInterval > 0 {
 		m.wg.Add(1)
 		go m.sweepLoop()
@@ -312,11 +326,17 @@ func (m *Manager) clampTTL(ttl time.Duration) time.Duration {
 // Over the cap it reclaims expired leases (the eager sweep the pre-shard
 // design ran under its lock) and retries; ErrCapacity is returned only
 // after a sweep found nothing to reclaim, so an Acquire can no longer be
-// rejected while expired leases sit unreclaimed.
+// rejected while expired leases sit unreclaimed. The cap itself is an
+// atomic (SetMaxLive mutates it online), so the whole path stays
+// lock-free; a reservation racing a cap change lands under whichever
+// cap it observed, which is indistinguishable from it having run just
+// before or after the resize.
+//
+//renamed:noalloc
 func (m *Manager) reserve(k int) error {
 	for {
 		n := m.live.Add(int64(k))
-		if m.cfg.MaxLive <= 0 || n <= int64(m.cfg.MaxLive) {
+		if max := m.maxLive.Load(); max <= 0 || n <= max {
 			return nil
 		}
 		m.live.Add(-int64(k))
@@ -325,6 +345,39 @@ func (m *Manager) reserve(k int) error {
 		}
 	}
 }
+
+// SetMaxLive changes the live-lease cap online: n > 0 caps concurrently
+// live leases at n, n == 0 uncaps. Raising the cap takes effect for the
+// next reservation. Lowering it below the current live population does
+// NOT revoke anything — existing leases ride to their expiry (the same
+// honoured-holders semantics Restore documents for a capacity cut
+// across a restart) and new acquires fail with ErrCapacity until
+// attrition brings live back under the cap. Negative n is rejected.
+func (m *Manager) SetMaxLive(n int) error {
+	if n < 0 {
+		return fmt.Errorf("lease: SetMaxLive(%d): %w", n, renaming.ErrBadConfig)
+	}
+	if !m.enterOp() {
+		m.rejected.Add(1)
+		return ErrClosed
+	}
+	defer m.exitOp()
+	m.maxLive.Store(int64(n))
+	m.resizes.Add(1)
+	return nil
+}
+
+// MaxLive returns the instantaneous live-lease cap (0 = uncapped).
+//
+//renamed:noalloc
+func (m *Manager) MaxLive() int { return int(m.maxLive.Load()) }
+
+// Namer exposes the underlying namer for process-level concerns the
+// manager does not mediate — capacity inspection and online resize
+// (renaming.ResizableNamer). Data-path namer calls stay behind the
+// manager; going around it for acquire/release would corrupt the
+// live accounting.
+func (m *Manager) Namer() renaming.Namer { return m.namer }
 
 // capSweepCall is one in-flight capacity-pressure sweep; latecomers block
 // on done and share reclaimed instead of sweeping again themselves.
@@ -369,6 +422,7 @@ func (m *Manager) reclaimForCapacity() int {
 // renaming.ErrNamespaceExhausted. Acquire cannot be cancelled; use
 // AcquireCtx when the caller may abandon a slow acquisition.
 func (m *Manager) Acquire(owner string, ttl time.Duration, meta map[string]string) (Lease, error) {
+	//lint:ctx Acquire is the documented uncancellable convenience form of AcquireCtx
 	return m.AcquireCtx(context.Background(), owner, ttl, meta)
 }
 
@@ -451,7 +505,7 @@ func (m *Manager) AcquireBatch(ctx context.Context, owner string, k int, ttl tim
 		return nil, fmt.Errorf("lease: acquire batch of %d exceeds namespace %d: %w",
 			k, m.namer.Namespace(), renaming.ErrNamespaceExhausted)
 	}
-	if m.cfg.MaxLive > 0 && k > m.cfg.MaxLive {
+	if max := m.maxLive.Load(); max > 0 && int64(k) > max {
 		m.rejected.Add(1)
 		return nil, ErrCapacity
 	}
@@ -807,6 +861,8 @@ func (m *Manager) Metrics() Metrics {
 		CapacitySweepJoins: m.capSweepJoined.Load(),
 		Reserved:           m.live.Load(),
 		Live:               live,
+		MaxLive:            m.maxLive.Load(),
+		Resizes:            m.resizes.Load(),
 	}
 }
 

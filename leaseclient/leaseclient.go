@@ -303,6 +303,7 @@ func (s *Session) AcquireN(ctx context.Context, k int) ([]Lease, error) {
 		for i, l := range granted.Leases {
 			items[i] = wire.Item{Name: l.Name, Token: l.Token}
 		}
+		//lint:ctx the acquire's own ctx may already be cancelled; this cleanup must still run
 		s.releaseItems(context.Background(), items)
 		return nil, ErrSessionClosed
 	}
@@ -396,6 +397,7 @@ func (s *Session) Close() error {
 
 	close(s.done)
 	s.wg.Wait()
+	//lint:ctx Close releases on the session's own lifetime; no caller context survives it
 	err := s.releaseItems(context.Background(), items)
 	if s.ownTransport {
 		if cerr := s.tr.Close(); err == nil {
@@ -528,6 +530,7 @@ func (s *Session) heartbeat() {
 		// renew timers, or the chaos clock-skew scenarios would mix
 		// timebases inside one session.
 		start := s.cfg.Now()
+		//lint:ctx the heartbeat loop is the session's own lifetime, bounded by CallTimeout inside the transport
 		results, err := s.tr.RenewBatch(context.Background(),
 			&wire.RenewBatchRequest{TTLms: s.cfg.TTL.Milliseconds(), Items: chunk})
 		elapsed := s.cfg.Now().Sub(start)

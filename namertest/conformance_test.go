@@ -39,3 +39,21 @@ func TestRegisteredNamersConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestResizableLevelArrayConformance runs both the base suite and the
+// ResizableNamer extension suite against the resizable levelarray
+// driver: a resizable namer must keep every static guarantee AND honour
+// the dynamic-capacity contract.
+func TestResizableLevelArrayConformance(t *testing.T) {
+	const dsn = "levelarray?n=48&seed=7&resizable"
+	namertest.Run(t, func() (renaming.Namer, error) {
+		return renaming.Open(dsn)
+	})
+	namertest.RunResizable(t, func() (renaming.ResizableNamer, error) {
+		nm, err := renaming.Open(dsn)
+		if err != nil {
+			return nil, err
+		}
+		return nm.(renaming.ResizableNamer), nil
+	})
+}

@@ -1,0 +1,204 @@
+package namertest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	renaming "repro"
+)
+
+// RunResizable executes the conformance suite for the ResizableNamer
+// extension against namers built by mk, on top of (not instead of) the
+// base Run suite. Each subtest gets a fresh namer; the factory's
+// capacity must be at least 8 and a multiple of 4 so the grow/shrink
+// ratios below stay integral.
+func RunResizable(t *testing.T, mk func() (renaming.ResizableNamer, error)) {
+	t.Helper()
+	t.Run("GrowExpandsCapacity", func(t *testing.T) { testGrowExpandsCapacity(t, mk) })
+	t.Run("ShrinkDrainsAndQuiesces", func(t *testing.T) { testShrinkDrainsAndQuiesces(t, mk) })
+	t.Run("EpochAdvances", func(t *testing.T) { testEpochAdvances(t, mk) })
+	t.Run("ChurnUnderResize", func(t *testing.T) { testChurnUnderResize(t, mk) })
+}
+
+func buildResizable(t *testing.T, mk func() (renaming.ResizableNamer, error)) renaming.ResizableNamer {
+	t.Helper()
+	nm, err := mk()
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if nm.Capacity() < 8 {
+		t.Fatalf("factory capacity %d; the resizable suite needs >= 8", nm.Capacity())
+	}
+	return nm
+}
+
+// testGrowExpandsCapacity grows the namer and demands a batch strictly
+// larger than the ORIGINAL namespace — only a real capacity change can
+// satisfy it.
+func testGrowExpandsCapacity(t *testing.T, mk func() (renaming.ResizableNamer, error)) {
+	nm := buildResizable(t, mk)
+	c0 := nm.Capacity()
+	ns0 := nm.Namespace()
+	if err := nm.Resize(4 * c0); err != nil {
+		t.Fatalf("Resize(%d): %v", 4*c0, err)
+	}
+	if got := nm.Capacity(); got != 4*c0 {
+		t.Fatalf("Capacity() = %d after grow, want %d", got, 4*c0)
+	}
+	if nm.Namespace() <= ns0 {
+		t.Fatalf("Namespace() = %d did not grow past %d", nm.Namespace(), ns0)
+	}
+	if nm.Draining() {
+		t.Fatal("Draining() = true after a pure grow")
+	}
+	names, err := nm.AcquireN(context.Background(), ns0+1)
+	if err != nil {
+		t.Fatalf("AcquireN(%d) after grow: %v", ns0+1, err)
+	}
+	assertDistinct(t, names, nm.Namespace())
+}
+
+// testShrinkDrainsAndQuiesces saturates the namespace, shrinks, and
+// checks the drain contract: held names above the bound keep the namer
+// draining and stay releasable, releases quiesce it, and post-shrink
+// grants never reopen the drained region.
+func testShrinkDrainsAndQuiesces(t *testing.T, mk func() (renaming.ResizableNamer, error)) {
+	nm := buildResizable(t, mk)
+	c0 := nm.Capacity()
+	held, err := nm.AcquireN(context.Background(), nm.Namespace())
+	if err != nil {
+		t.Fatalf("saturating AcquireN: %v", err)
+	}
+	if err := nm.Resize(c0 / 4); err != nil {
+		t.Fatalf("Resize(%d): %v", c0/4, err)
+	}
+	if got := nm.Capacity(); got != c0/4 {
+		t.Fatalf("Capacity() = %d after shrink, want %d", got, c0/4)
+	}
+	if !nm.Draining() {
+		t.Fatal("Draining() = false with the whole old namespace held")
+	}
+	// Every held name — above the bound or not — must still release.
+	for _, u := range held {
+		if err := nm.Release(u); err != nil {
+			t.Fatalf("Release(%d) during drain: %v", u, err)
+		}
+	}
+	if nm.Draining() {
+		t.Fatal("Draining() = true after the last holder released")
+	}
+	// Re-grant until exhaustion: the shrunk namer must serve at least its
+	// new capacity, strictly less than the old namespace, and no grant may
+	// land in (and so re-open) the drained tail.
+	granted := 0
+	for {
+		if _, err := nm.Acquire(context.Background()); err != nil {
+			if !errors.Is(err, renaming.ErrNamespaceExhausted) {
+				t.Fatalf("Acquire after drain: %v", err)
+			}
+			break
+		}
+		granted++
+		if granted > nm.Namespace() {
+			t.Fatal("granted more names than the namespace holds")
+		}
+	}
+	if granted < c0/4 {
+		t.Fatalf("shrunk namer granted %d names, want >= capacity %d", granted, c0/4)
+	}
+	if granted >= len(held) {
+		t.Fatalf("shrunk namer granted %d names, want < old namespace %d", granted, len(held))
+	}
+	if nm.Draining() {
+		t.Fatal("post-shrink grants re-opened the drained tail")
+	}
+}
+
+// testEpochAdvances checks ResizeEpoch is a monotone fence over
+// successful capacity changes.
+func testEpochAdvances(t *testing.T, mk func() (renaming.ResizableNamer, error)) {
+	nm := buildResizable(t, mk)
+	c0 := nm.Capacity()
+	e0 := nm.ResizeEpoch()
+	if err := nm.Resize(2 * c0); err != nil {
+		t.Fatal(err)
+	}
+	e1 := nm.ResizeEpoch()
+	if e1 <= e0 {
+		t.Fatalf("epoch %d after grow, want > %d", e1, e0)
+	}
+	if err := nm.Resize(c0); err != nil {
+		t.Fatal(err)
+	}
+	if e2 := nm.ResizeEpoch(); e2 <= e1 {
+		t.Fatalf("epoch %d after shrink, want > %d", e2, e1)
+	}
+}
+
+// testChurnUnderResize races acquire/release churn against grow/shrink
+// cycles: every concurrently held pair of names must be distinct, and
+// the only acceptable failure is transient exhaustion while shrunk.
+func testChurnUnderResize(t *testing.T, mk func() (renaming.ResizableNamer, error)) {
+	nm := buildResizable(t, mk)
+	c0 := nm.Capacity()
+
+	var mu sync.Mutex
+	heldCount := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []int
+			release := func() {
+				for _, u := range local {
+					// Ledger first: once Release lands the name is
+					// immediately re-grantable to another goroutine.
+					mu.Lock()
+					heldCount[u]--
+					mu.Unlock()
+					if err := nm.Release(u); err != nil {
+						t.Errorf("Release(%d): %v", u, err)
+					}
+				}
+				local = local[:0]
+			}
+			for iter := 0; iter < 300; iter++ {
+				u, err := nm.Acquire(context.Background())
+				if err != nil {
+					if errors.Is(err, renaming.ErrNamespaceExhausted) {
+						release()
+						continue
+					}
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				heldCount[u]++
+				if heldCount[u] > 1 {
+					t.Errorf("name %d held twice concurrently", u)
+				}
+				mu.Unlock()
+				local = append(local, u)
+				if len(local) >= 4 {
+					release()
+				}
+			}
+			release()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{c0 / 4, 2 * c0, c0 / 2, 4 * c0, c0}
+		for i := 0; i < 40; i++ {
+			if err := nm.Resize(sizes[i%len(sizes)]); err != nil {
+				t.Errorf("Resize(%d): %v", sizes[i%len(sizes)], err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -19,6 +19,7 @@ type options struct {
 	counting    bool
 	levelProbes int
 	gamma       float64
+	resizable   bool
 
 	// set records which options were applied, by option name: the single
 	// source of truth for both "was it set" checks (e.g. fastadaptive's
@@ -63,6 +64,7 @@ const (
 	optGamma       = "WithGamma"
 	optPadded      = "WithPaddedTAS"
 	optCounting    = "WithCounting"
+	optResizable   = "WithResizable"
 )
 
 // universalOptions apply to every namer: they tune the concurrent driver
@@ -177,6 +179,18 @@ func WithGamma(gamma float64) Option {
 			return badConfig("", optGamma, fmt.Sprint(gamma), "need gamma > 0")
 		}
 		o.gamma = gamma
+		return nil
+	}}
+}
+
+// WithResizable builds the namer over a growable TAS space and enables
+// online capacity changes through the ResizableNamer interface. Applies
+// to NewLevelArray only (the one-shot family's analysis fixes n up
+// front). Incompatible with WithPaddedTAS: the elastic space trades the
+// per-line padding for growability.
+func WithResizable() Option {
+	return optionFunc{optResizable, func(o *options) error {
+		o.resizable = true
 		return nil
 	}}
 }

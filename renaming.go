@@ -75,6 +75,28 @@ type LongLivedNamer interface {
 	Capacity() int
 }
 
+// ResizableNamer is a LongLivedNamer whose capacity can change while
+// acquisitions are in flight. Grow takes effect immediately; shrink
+// marks the namespace tail drain-only — names already held above the
+// new bound stay valid until released, new acquisitions never land
+// there — and Draining reports true until the last such holder lets
+// go. Namespace() never decreases, so every outstanding name remains
+// releasable. Only namers built with WithResizable implement the
+// dynamic behaviour; LevelArray's Resize fails with ErrBadConfig
+// otherwise.
+type ResizableNamer interface {
+	LongLivedNamer
+	// Resize sets the capacity to n online. Concurrent Acquire calls
+	// observe either the old or the new layout, never a mix.
+	Resize(n int) error
+	// Draining reports whether any name above the current capacity's
+	// bound is still held (a shrink has not yet quiesced).
+	Draining() bool
+	// ResizeEpoch returns the number of capacity changes applied so
+	// far — a fence for tests and monitors racing Resize.
+	ResizeEpoch() uint64
+}
+
 // Namer assigns distinct integer names to concurrent callers.
 type Namer interface {
 	// Acquire obtains a name unique among all unreleased names handed out
@@ -101,10 +123,11 @@ type Namer interface {
 }
 
 // space is the TAS surface namers need: probing plus the atomic release
-// extension.
+// extension and the read-only occupancy view the drain check uses.
 type space interface {
 	tas.Space
 	TryReset(loc int) bool
+	IsSet(loc int) bool
 }
 
 // namer is the shared concurrent driver around a core algorithm.
@@ -115,6 +138,12 @@ type namer struct {
 	seed    uint64
 	stream  atomic.Uint64
 	counted tas.Space // mem or counting wrapper; what algorithms probe
+	// allowed, when non-nil, post-validates a won slot against the
+	// algorithm's CURRENT geometry: a win that raced a shrink (probed
+	// under the old epoch, published before the validation) is handed
+	// back and the probe sequence retried, so no new grant lands in a
+	// drain-only region.
+	allowed func(name int) bool
 }
 
 func newNamer(alg core.Algorithm, opts options) *namer {
@@ -124,6 +153,13 @@ func newNamer(alg core.Algorithm, opts options) *namer {
 	} else {
 		mem = tas.NewDense(alg.Namespace())
 	}
+	return newNamerOn(alg, opts, mem)
+}
+
+// newNamerOn is newNamer over a caller-built space — the resizable
+// path, where the space must exist (and be growable) before the
+// algorithm's resize hook can be wired to it.
+func newNamerOn(alg core.Algorithm, opts options, mem space) *namer {
 	n := &namer{alg: alg, mem: mem, seed: opts.seed}
 	n.counted = mem
 	if opts.counting {
@@ -152,17 +188,25 @@ func (n *namer) env(ctx context.Context) *concurrentEnv {
 // won), and a name won in the race window around cancellation is handed
 // straight back here before ErrCancelled is returned.
 func (n *namer) acquireOne(ctx context.Context, env *concurrentEnv) (int, error) {
-	u := n.alg.GetName(env)
-	switch {
-	case u == core.Cancelled:
-		return 0, cancelled(ctx)
-	case u == core.NoName:
-		return 0, ErrNamespaceExhausted
-	case ctx != nil && ctx.Err() != nil:
-		n.mem.TryReset(u)
-		return 0, cancelled(ctx)
+	for {
+		u := n.alg.GetName(env)
+		switch {
+		case u == core.Cancelled:
+			return 0, cancelled(ctx)
+		case u == core.NoName:
+			return 0, ErrNamespaceExhausted
+		case ctx != nil && ctx.Err() != nil:
+			n.mem.TryReset(u)
+			return 0, cancelled(ctx)
+		}
+		if n.allowed != nil && !n.allowed(u) {
+			// The slot was shrunk out from under the probe sequence;
+			// give it back and probe again under the new geometry.
+			n.mem.TryReset(u)
+			continue
+		}
+		return u, nil
 	}
-	return u, nil
 }
 
 // Acquire implements Namer.
